@@ -1,0 +1,152 @@
+package ttdc
+
+import (
+	"math/big"
+
+	"repro/internal/core"
+	"repro/internal/optimize"
+	"repro/internal/report"
+)
+
+// ReportOptions configures Report; see internal/report.Options.
+type ReportOptions = report.Options
+
+// Report renders a complete plain-text analysis of a schedule: TT verdict,
+// throughput vs every theorem bound, latency bound, lifetime projection,
+// per-node duty and fairness, and (for small frames) the role grid.
+func Report(s *Schedule, opts ReportOptions) (string, error) {
+	return report.Generate(s, opts)
+}
+
+// Exact worst-case throughput analysis (all values are big.Rat; convert
+// with RatFloat for display).
+
+// MinThroughput computes Thr^min of Definition 1: the per-frame fraction of
+// guaranteed collision-free slots on the worst link with the worst
+// neighbourhood in N(n, D). Positive exactly when s is
+// topology-transparent.
+func MinThroughput(s *Schedule, d int) *big.Rat { return core.MinThroughput(s, d) }
+
+// MinThroughputParallel is MinThroughput distributed over worker
+// goroutines (0 = GOMAXPROCS); results are identical to the sequential
+// scan.
+func MinThroughputParallel(s *Schedule, d, workers int) *big.Rat {
+	return core.MinThroughputParallel(s, d, workers)
+}
+
+// AvgThroughput computes Thr^ave of Definition 2 via the Theorem 2 closed
+// form (Θ(L) cost).
+func AvgThroughput(s *Schedule, d int) *big.Rat { return core.AvgThroughput(s, d) }
+
+// AvgThroughputBruteForce computes Thr^ave directly from Definition 2
+// (exponential in D; for validation on small instances).
+func AvgThroughputBruteForce(s *Schedule, d int) *big.Rat {
+	return core.AvgThroughputBruteForce(s, d)
+}
+
+// G computes g_{n,D}(x): the average worst-case throughput of a
+// non-sleeping schedule with exactly x transmitters per slot.
+func G(n, d, x int) *big.Rat { return core.G(n, d, x) }
+
+// OptimalTransmitters returns αT★ of Theorem 3: the per-slot transmitter
+// count maximizing average worst-case throughput for general schedules.
+func OptimalTransmitters(n, d int) int { return core.OptimalTransmitters(n, d) }
+
+// GeneralThroughputBound returns Thr★ of Theorem 3: the largest average
+// worst-case throughput any schedule achieves in N(n, D).
+func GeneralThroughputBound(n, d int) *big.Rat { return core.GeneralThroughputBound(n, d) }
+
+// LooseGeneralBound returns the Theorem 3 closed-form relaxation
+// nD^D/((n-D)(D+1)^(D+1)).
+func LooseGeneralBound(n, d int) *big.Rat { return core.LooseGeneralBound(n, d) }
+
+// OptimalTransmittersCapped returns αT★ = min{αT, α} of Theorem 4.
+func OptimalTransmittersCapped(n, d, alphaT int) int {
+	return core.OptimalTransmittersCapped(n, d, alphaT)
+}
+
+// CappedThroughputBound returns Thr★_{αR,αT} of Theorem 4: the largest
+// average worst-case throughput any (αT, αR)-schedule achieves in N(n, D).
+func CappedThroughputBound(n, d, alphaT, alphaR int) *big.Rat {
+	return core.CappedThroughputBound(n, d, alphaT, alphaR)
+}
+
+// LooseCappedBound returns the Theorem 4 closed-form relaxation
+// αR(n-1)(D-1)^(D-1)/(n(n-D)D^D).
+func LooseCappedBound(n, d, alphaR int) *big.Rat { return core.LooseCappedBound(n, d, alphaR) }
+
+// RatioR computes r(x) of §7, the per-slot optimality ratio of x
+// transmitters against αT★.
+func RatioR(n, d, alphaT, x int) *big.Rat { return core.RatioR(n, d, alphaT, x) }
+
+// OptimalityRatio returns Thr^ave(s)/Thr★_{αR,αT}.
+func OptimalityRatio(s *Schedule, d, alphaT, alphaR int) *big.Rat {
+	return core.OptimalityRatio(s, d, alphaT, alphaR)
+}
+
+// Theorem8LowerBound returns the paper's lower bound on the optimality
+// ratio achieved by Construct on input ns.
+func Theorem8LowerBound(ns *Schedule, d, alphaT, alphaR int) *big.Rat {
+	return core.Theorem8LowerBound(ns, d, alphaT, alphaR)
+}
+
+// Theorem9Bound returns the paper's lower bound on the minimum throughput
+// of the schedule Construct builds from ns.
+func Theorem9Bound(ns *Schedule, d, alphaT, alphaR int) *big.Rat {
+	return core.Theorem9Bound(ns, d, alphaT, alphaR)
+}
+
+// MinFrameLowerBound returns the counting lower bound on the frame length
+// of any topology-transparent (αT, αR)-schedule over n nodes:
+// L >= ⌈n·⌈(n-1)/αR⌉/αT⌉. When Construct's Theorem 7 frame length matches
+// it, the paper's construction is frame-optimal for that instance.
+func MinFrameLowerBound(n, alphaT, alphaR int) int {
+	return core.MinFrameLowerBound(n, alphaT, alphaR)
+}
+
+// SearchAlphaSchedule searches directly for a topology-transparent
+// (αT, αR)-schedule with frame length exactly l (randomized min-conflicts
+// repair; converges reliably for αT = 1 — see internal/optimize).
+func SearchAlphaSchedule(n, d, alphaT, alphaR, l int, seed uint64) (*Schedule, error) {
+	return optimize.SearchAlpha(optimize.Options{
+		N: n, D: d, AlphaT: alphaT, AlphaR: alphaR, L: l, Seed: seed,
+	})
+}
+
+// ConstructedFrameLength returns the exact Theorem 7 frame length of the
+// schedule Construct would build from ns with transmitter subset size
+// aStar and receiver cap alphaR.
+func ConstructedFrameLength(ns *Schedule, aStar, alphaR int) int {
+	return core.ConstructedFrameLength(ns, aStar, alphaR)
+}
+
+// FrameLengthCap returns the Theorem 7 closed-form upper bound on the
+// constructed frame length.
+func FrameLengthCap(ns *Schedule, aStar, alphaR int) int {
+	return core.FrameLengthCap(ns, aStar, alphaR)
+}
+
+// HopLatencyBound returns the worst-case wait (slots) for a guaranteed
+// collision-free slot from x to y when y's other neighbours are S, or -1
+// when no guaranteed slot exists.
+func HopLatencyBound(s *Schedule, x, y int, set []int) int {
+	return core.HopLatencyBound(s, x, y, set)
+}
+
+// WorstCaseHopLatency returns the worst-case wait (slots) for a guaranteed
+// collision-free slot on any link with any neighbourhood in N(n, D); the
+// second result is false when the schedule is not topology-transparent
+// (no finite bound). For TT schedules the bound is at most L-1.
+func WorstCaseHopLatency(s *Schedule, d int) (int, bool) {
+	return core.WorstCaseHopLatency(s, d)
+}
+
+// RatFloat converts an exact rational to float64 for display.
+func RatFloat(r *big.Rat) float64 {
+	f, _ := r.Float64()
+	return f
+}
+
+// RatOne returns the exact rational 1 (handy for comparing optimality
+// ratios).
+func RatOne() *big.Rat { return big.NewRat(1, 1) }

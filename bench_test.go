@@ -1,0 +1,250 @@
+// Repository-level benchmark harness: one benchmark per reproduced paper
+// artifact (experiments E1-E11; see DESIGN.md §4 and EXPERIMENTS.md). Each
+// benchmark regenerates the corresponding table and fails if the paper's
+// claim does not hold, so `go test -bench=.` re-validates the full
+// reproduction. Micro-benchmarks for the core algorithms follow.
+package ttdc_test
+
+import (
+	"testing"
+
+	ttdc "repro"
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Pass {
+			b.Fatalf("%s claims failed: %v", id, res.Notes)
+		}
+	}
+}
+
+// BenchmarkE1Figure1 regenerates Figure 1: sleeping preserves per-topology
+// throughput on a fixed ring while cutting energy.
+func BenchmarkE1Figure1(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2Theorem2 regenerates the Theorem 2 identity table: closed-form
+// average worst-case throughput vs the Definition 2 brute force.
+func BenchmarkE2Theorem2(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3Theorem3 regenerates the Theorem 3 table: the general upper
+// bound Thr★, its loose closed form, and the equality condition.
+func BenchmarkE3Theorem3(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4Theorem4 regenerates the Theorem 4 table: (αT, αR) bounds and
+// the capped optimum.
+func BenchmarkE4Theorem4(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5FrameLength regenerates the Theorem 7 frame-length table.
+func BenchmarkE5FrameLength(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6Optimality regenerates the Theorem 8 optimality-ratio table.
+func BenchmarkE6Optimality(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7MinThroughput regenerates the Theorem 9 minimum-throughput
+// table.
+func BenchmarkE7MinThroughput(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8Requirements regenerates the Theorem 1 (Req 2 ⇔ Req 3)
+// agreement table.
+func BenchmarkE8Requirements(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9SimVsAnalysis regenerates the simulation-vs-analysis table on
+// worst-case D-regular topologies.
+func BenchmarkE9SimVsAnalysis(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10EnergyTradeoff regenerates the (αT, αR) energy/latency/
+// throughput trade-off sweep.
+func BenchmarkE10EnergyTradeoff(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11Transparency regenerates the topology-churn comparison
+// against coloring TDMA and the construction comparison table.
+func BenchmarkE11Transparency(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12HopLatency regenerates the worst-case hop-latency table
+// (analytic bound vs saturated simulation).
+func BenchmarkE12HopLatency(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13BalancedAblation regenerates the §7 division-strategy
+// ablation (invariants + per-node energy spread).
+func BenchmarkE13BalancedAblation(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14Adaptive regenerates the adaptive-duty-cycling-under-bursty-
+// load comparison.
+func BenchmarkE14Adaptive(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE15Robustness regenerates the erasure/capture/clock-drift
+// robustness table.
+func BenchmarkE15Robustness(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkE16Discovery regenerates the neighbour-discovery one-frame
+// corollary table.
+func BenchmarkE16Discovery(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkE17FrameOptimality regenerates the Construct frame-length
+// optimality table (counting bound + direct search certification).
+func BenchmarkE17FrameOptimality(b *testing.B) { benchExperiment(b, "E17") }
+
+// --- Micro-benchmarks for the core algorithms ---
+
+func mustPoly(b *testing.B, n, d int) *ttdc.Schedule {
+	b.Helper()
+	s, err := ttdc.PolynomialSchedule(n, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkConstructAlgorithm measures the Figure 2 algorithm itself on a
+// 49-node polynomial base schedule.
+func BenchmarkConstructAlgorithm(b *testing.B) {
+	ns := mustPoly(b, 49, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ttdc.Construct(ns, ttdc.ConstructOptions{AlphaT: 4, AlphaR: 8, D: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConstructBalanced measures the balanced-energy division variant.
+func BenchmarkConstructBalanced(b *testing.B) {
+	ns := mustPoly(b, 49, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ttdc.Construct(ns, ttdc.ConstructOptions{
+			AlphaT: 4, AlphaR: 8, D: 3, Strategy: ttdc.Balanced,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAvgThroughputClosedForm measures the Theorem 2 closed form
+// (Θ(L) big-int work) on a 121-node schedule.
+func BenchmarkAvgThroughputClosedForm(b *testing.B) {
+	s := mustPoly(b, 121, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ttdc.AvgThroughput(s, 4)
+	}
+}
+
+// BenchmarkRequirement3Check measures the exhaustive TT verifier on a
+// 16-node class (n·C(n-1, D) subset scans).
+func BenchmarkRequirement3Check(b *testing.B) {
+	s := mustPoly(b, 16, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w := ttdc.CheckRequirement3(s, 3); w != nil {
+			b.Fatal(w)
+		}
+	}
+}
+
+// BenchmarkMinThroughput measures the Definition 1 minimum-throughput scan.
+func BenchmarkMinThroughput(b *testing.B) {
+	s := mustPoly(b, 12, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ttdc.MinThroughput(s, 2)
+	}
+}
+
+// BenchmarkSaturationSimulator measures simulator slot throughput on a
+// 49-node worst-case topology (one frame per iteration).
+func BenchmarkSaturationSimulator(b *testing.B) {
+	s := mustPoly(b, 49, 4)
+	g := ttdc.Regularish(49, 4)
+	em := ttdc.DefaultEnergy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ttdc.RunSaturation(g, s, 1, em); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvergecastSimulator measures the data-collection workload.
+func BenchmarkConvergecastSimulator(b *testing.B) {
+	s := mustPoly(b, 25, 2)
+	g := ttdc.RandomBoundedDegree(25, 2, 3, ttdc.NewRNG(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ttdc.RunConvergecast(g, s, ttdc.ConvergecastConfig{
+			Sink: 0, Rate: 0.002, Frames: 10, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPolynomialSchedule measures base-schedule construction end to
+// end (field arithmetic + family + schedule assembly).
+func BenchmarkPolynomialSchedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ttdc.PolynomialSchedule(121, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteinerSchedule measures the Steiner-triple-system path.
+func BenchmarkSteinerSchedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ttdc.SteinerSchedule(100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchSchedule measures the randomized cover-free search.
+func BenchmarkSearchSchedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ttdc.SearchSchedule(10, 2, 10, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFloodSimulator measures the dissemination workload under a
+// duty-cycled schedule on a 25-node deployment.
+func BenchmarkFloodSimulator(b *testing.B) {
+	ns := mustPoly(b, 25, 3)
+	duty, err := ttdc.Construct(ns, ttdc.ConstructOptions{AlphaT: 4, AlphaR: 8, D: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := ttdc.RandomBoundedDegree(25, 3, 4, ttdc.NewRNG(1))
+	ecc := ttdc.Eccentricity(g, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ttdc.RunFlood(g, ttdc.ScheduleProtocol{S: duty}, ttdc.FloodConfig{
+			Source: 0, MaxFrames: ecc + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Covered != 25 {
+			b.Fatalf("flood covered %d", res.Covered)
+		}
+	}
+}
+
+// BenchmarkWorstCaseHopLatency measures the latency-bound scan.
+func BenchmarkWorstCaseHopLatency(b *testing.B) {
+	s := mustPoly(b, 12, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ttdc.WorstCaseHopLatency(s, 2); !ok {
+			b.Fatal("not TT")
+		}
+	}
+}

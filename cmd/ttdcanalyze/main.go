@@ -1,0 +1,83 @@
+// Command ttdcanalyze reads a schedule (JSON, as emitted by ttdcgen) from
+// stdin or a file and reports its topology-transparency status and exact
+// worst-case throughput figures for a given network class N(n, D).
+//
+// Usage:
+//
+//	ttdcgen -n 25 -D 2 -alphaT 3 -alphaR 5 | ttdcanalyze -D 2
+//	ttdcanalyze -D 2 -in schedule.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	ttdc "repro"
+)
+
+func main() {
+	var (
+		d      = flag.Int("D", 2, "degree bound of the class N(n, D)")
+		in     = flag.String("in", "-", "input file (default stdin)")
+		skip   = flag.Bool("skip-min", false, "skip the (expensive) minimum-throughput scan")
+		report = flag.Bool("report", false, "emit the full analysis report instead of the summary")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	s, err := ttdc.DecodeSchedule(r)
+	if err != nil {
+		fatal(err)
+	}
+	if *report {
+		out, err := ttdc.Report(s, ttdc.ReportOptions{D: *d, SkipMinThroughput: *skip})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+	n := s.N()
+	fmt.Printf("schedule: n=%d  L=%d  non-sleeping=%v\n", n, s.L(), s.IsNonSleeping())
+	fmt.Printf("per-slot: transmitters %d..%d, receivers <= %d\n",
+		s.MinTransmitters(), s.MaxTransmitters(), s.MaxReceivers())
+	fmt.Printf("energy:   active fraction %.4f\n", s.ActiveFraction())
+
+	if *d < 1 || *d > n-1 {
+		fatal(fmt.Errorf("D = %d outside [1, %d]", *d, n-1))
+	}
+	if w := ttdc.CheckRequirement3(s, *d); w != nil {
+		fmt.Printf("topology-transparent for N(%d, %d): NO — %v\n", n, *d, w)
+	} else {
+		fmt.Printf("topology-transparent for N(%d, %d): yes\n", n, *d)
+	}
+	avg := ttdc.AvgThroughput(s, *d)
+	fmt.Printf("Thr^ave = %s (%.6f)\n", avg.RatString(), ttdc.RatFloat(avg))
+	bound := ttdc.GeneralThroughputBound(n, *d)
+	fmt.Printf("Theorem 3 bound Thr★ = %s (%.6f), αT★ = %d\n",
+		bound.RatString(), ttdc.RatFloat(bound), ttdc.OptimalTransmitters(n, *d))
+	aT, aR := s.MaxTransmitters(), s.MaxReceivers()
+	if aT >= 1 && aR >= 1 {
+		cb := ttdc.CappedThroughputBound(n, *d, aT, aR)
+		fmt.Printf("Theorem 4 bound Thr★(%d,%d) = %s (%.6f)\n", aT, aR, cb.RatString(), ttdc.RatFloat(cb))
+	}
+	if !*skip {
+		min := ttdc.MinThroughput(s, *d)
+		fmt.Printf("Thr^min = %s (%.6f)\n", min.RatString(), ttdc.RatFloat(min))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ttdcanalyze:", err)
+	os.Exit(1)
+}

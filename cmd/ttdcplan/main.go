@@ -1,0 +1,69 @@
+// Command ttdcplan turns application requirements into a concrete
+// topology-transparent duty-cycling schedule: it searches the
+// construction × (αT, αR) space and recommends the feasible configuration
+// with the longest projected battery lifetime.
+//
+// Usage:
+//
+//	ttdcplan -n 25 -D 2 -max-hop-latency 2 -min-lifetime 0.05
+//	ttdcplan -n 25 -D 2 -emit | ttdcanalyze -D 2 -report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ttdc "repro"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 25, "maximum number of nodes")
+		d        = flag.Int("D", 2, "maximum node degree")
+		maxLat   = flag.Float64("max-hop-latency", 0, "worst-case per-hop wait cap, seconds (0 = unconstrained)")
+		minLife  = flag.Float64("min-lifetime", 0, "first-death lifetime floor, years (0 = unconstrained)")
+		minThr   = flag.Float64("min-throughput", 0, "average worst-case throughput floor (0 = unconstrained)")
+		battery  = flag.Float64("battery", 20000, "battery capacity, joules")
+		balanced = flag.Bool("balanced", false, "use the balanced-energy division")
+		emit     = flag.Bool("emit", false, "print the chosen schedule as JSON (for piping) instead of the summary")
+	)
+	flag.Parse()
+
+	p, err := ttdc.PlanBest(ttdc.Requirements{
+		MaxNodes:             *n,
+		MaxDegree:            *d,
+		MaxHopLatencySeconds: *maxLat,
+		MinLifetimeYears:     *minLife,
+		MinAvgThroughput:     *minThr,
+		BatteryJoules:        *battery,
+		Balanced:             *balanced,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttdcplan:", err)
+		os.Exit(1)
+	}
+	if *emit {
+		if err := ttdc.EncodeSchedule(os.Stdout, p.Schedule); err != nil {
+			fmt.Fprintln(os.Stderr, "ttdcplan:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("RECOMMENDED: %s", p.Base)
+	if p.AlphaT > 0 {
+		fmt.Printf(" + Construct(αT=%d, αR=%d)", p.AlphaT, p.AlphaR)
+	} else {
+		fmt.Printf(" (non-sleeping)")
+	}
+	fmt.Println()
+	fmt.Printf("  frame length      %d slots\n", p.Schedule.L())
+	fmt.Printf("  active fraction   %.3f\n", p.ActiveFraction)
+	fmt.Printf("  hop latency       %.3f s worst case\n", p.HopLatencySeconds)
+	fmt.Printf("  lifetime          %.2f years (first death, %.0f J battery)\n", p.LifetimeYears, *battery)
+	fmt.Printf("  Thr^ave           %s\n", p.AvgThroughput.RatString())
+	fmt.Printf("  Thr^min           %s\n", p.MinThroughput.RatString())
+	for _, r := range p.Rationale {
+		fmt.Printf("  • %s\n", r)
+	}
+}

@@ -1,0 +1,63 @@
+// Command ttdcsweep regenerates the reproduction experiments (E1-E11): each
+// verifies one paper artifact — Figure 1, the Theorem 2-4 and 7-9
+// guarantees, the Requirement 2 ⇔ 3 equivalence — or one of the simulation
+// studies the paper motivates, and prints its table.
+//
+// Usage:
+//
+//	ttdcsweep                # run everything
+//	ttdcsweep -exp E10       # one experiment
+//	ttdcsweep -exp E3 -csv   # CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp = flag.String("exp", "", "experiment id (E1..E11); empty = all")
+		csv = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	ids := experiments.IDs()
+	if *exp != "" {
+		ids = []string{*exp}
+	}
+	allPass := true
+	for _, id := range ids {
+		res, err := experiments.Run(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ttdcsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s: %s ==\n", res.ID, res.Title)
+		var werr error
+		if *csv {
+			werr = res.Table.WriteCSV(os.Stdout)
+		} else {
+			werr = res.Table.WriteText(os.Stdout)
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "ttdcsweep:", werr)
+			os.Exit(1)
+		}
+		for _, n := range res.Notes {
+			fmt.Println(n)
+		}
+		status := "PASS"
+		if !res.Pass {
+			status = "FAIL"
+			allPass = false
+		}
+		fmt.Printf("[%s] %s\n\n", status, res.ID)
+	}
+	if !allPass {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,142 @@
+package ttdc_test
+
+import (
+	"fmt"
+
+	ttdc "repro"
+)
+
+// The full pipeline: construct a topology-transparent schedule for a
+// network class, duty-cycle it, and read off the exact guarantees.
+func Example() {
+	// Class N(25, 2): at most 25 nodes, degree at most 2. No topology!
+	ns, _ := ttdc.PolynomialSchedule(25, 2)
+	duty, _ := ttdc.Construct(ns, ttdc.ConstructOptions{AlphaT: 3, AlphaR: 5, D: 2})
+
+	fmt.Println("frame length:", duty.L())
+	fmt.Println("active fraction:", duty.ActiveFraction())
+	fmt.Println("topology-transparent:", ttdc.IsTopologyTransparent(duty, 2))
+	fmt.Println("Thr^ave:", ttdc.AvgThroughput(duty, 2).RatString())
+	// Output:
+	// frame length: 200
+	// active fraction: 0.32
+	// topology-transparent: true
+	// Thr^ave: 21/920
+}
+
+// TDMA is the simplest topology-transparent schedule: frame length n, each
+// node owning one slot.
+func ExampleTDMA() {
+	s, _ := ttdc.TDMA(6)
+	fmt.Println("L:", s.L())
+	fmt.Println("node 2 transmits in slots:", s.Tran(2))
+	fmt.Println("Thr^min:", ttdc.MinThroughput(s, 3).RatString())
+	// Output:
+	// L: 6
+	// node 2 transmits in slots: {2}
+	// Thr^min: 1/6
+}
+
+// OptimalTransmitters computes the Theorem 3 optimum αT★ ≈ (n-D)/(D+1).
+func ExampleOptimalTransmitters() {
+	fmt.Println(ttdc.OptimalTransmitters(25, 2))
+	fmt.Println(ttdc.GeneralThroughputBound(25, 2).RatString())
+	// Output:
+	// 8
+	// 272/1725
+}
+
+// CheckRequirement3 returns a concrete witness when a schedule is not
+// topology-transparent.
+func ExampleCheckRequirement3() {
+	// Node 0 is never allowed to transmit.
+	s, _ := ttdc.NewSchedule(4,
+		[][]int{{1}, {2}, {3}},
+		[][]int{{0, 2, 3}, {0, 1, 3}, {0, 1, 2}})
+	w := ttdc.CheckRequirement3(s, 2)
+	fmt.Println(w)
+	// Output:
+	// node 0 has no free slot against neighbourhood [1 2]
+}
+
+// WorstCaseHopLatency bounds the wait for a guaranteed collision-free slot
+// on any link in the class.
+func ExampleWorstCaseHopLatency() {
+	s, _ := ttdc.TDMA(8)
+	bound, ok := ttdc.WorstCaseHopLatency(s, 3)
+	fmt.Println(bound, ok)
+	// Output:
+	// 7 true
+}
+
+// RunSaturation cross-validates the analysis: under worst-case traffic the
+// simulator observes exactly the guaranteed slots.
+func ExampleRunSaturation() {
+	s, _ := ttdc.TDMA(6)
+	g := ttdc.Ring(6)
+	res, _ := ttdc.RunSaturation(g, s, 2, ttdc.DefaultEnergy())
+	fmt.Println("min deliveries per frame per link:", res.MinLinkPerFrame)
+	fmt.Println("collisions:", res.CollisionSlots)
+	// Output:
+	// min deliveries per frame per link: 1
+	// collisions: 0
+}
+
+// SteinerSchedule packs D=2 classes into far shorter frames than TDMA.
+func ExampleSteinerSchedule() {
+	s, _ := ttdc.SteinerSchedule(26) // 26 nodes from STS(13)'s blocks
+	fmt.Println("frame:", s.L(), "vs TDMA's", 26)
+	fmt.Println("TT:", ttdc.IsTopologyTransparent(s, 2))
+	// Output:
+	// frame: 13 vs TDMA's 26
+	// TT: true
+}
+
+// ProjectiveSchedule extends the Steiner approach to larger degree bounds:
+// lines of PG(2, p) support D up to p.
+func ExampleProjectiveSchedule() {
+	s, _ := ttdc.ProjectiveSchedule(31, 5) // PG(2,5): v = 31
+	fmt.Println("frame:", s.L())
+	fmt.Println("TT at D=5:", ttdc.IsTopologyTransparent(s, 5))
+	// Output:
+	// frame: 31
+	// TT at D=5: true
+}
+
+// MinFrameLowerBound certifies when Construct's frame length is optimal.
+func ExampleMinFrameLowerBound() {
+	ns, _ := ttdc.TDMA(6)
+	duty, _ := ttdc.Construct(ns, ttdc.ConstructOptions{AlphaT: 1, AlphaR: 2, D: 2})
+	fmt.Println("Construct frame:", duty.L())
+	fmt.Println("lower bound:    ", ttdc.MinFrameLowerBound(6, 1, 2))
+	// Output:
+	// Construct frame: 18
+	// lower bound:     18
+}
+
+// EstimateLifetime projects battery lifetime from a schedule's role
+// densities — the number deployments actually plan around.
+func ExampleEstimateLifetime() {
+	ns, _ := ttdc.PolynomialSchedule(25, 2)
+	duty, _ := ttdc.Construct(ns, ttdc.ConstructOptions{AlphaT: 3, AlphaR: 5, D: 2})
+	full, _ := ttdc.EstimateLifetime(ns, ttdc.DefaultEnergy(), 20000)
+	cycled, _ := ttdc.EstimateLifetime(duty, ttdc.DefaultEnergy(), 20000)
+	fmt.Printf("duty cycling extends first-death lifetime %.1fx\n",
+		cycled.MinSeconds/full.MinSeconds)
+	// Output:
+	// duty cycling extends first-death lifetime 2.6x
+}
+
+// PlanBest maps application requirements onto a concrete schedule.
+func ExamplePlanBest() {
+	p, _ := ttdc.PlanBest(ttdc.Requirements{
+		MaxNodes:             25,
+		MaxDegree:            2,
+		MaxHopLatencySeconds: 0.5, // 10 ms slots
+	})
+	fmt.Println("latency within cap:", p.HopLatencySeconds <= 0.5)
+	fmt.Println("schedule sleeps:", p.ActiveFraction < 1)
+	// Output:
+	// latency within cap: true
+	// schedule sleeps: true
+}

@@ -1,0 +1,75 @@
+// Broadcast dissemination: pushing a command or a firmware page from the
+// sink to every sensor. A topology-transparent schedule guarantees the
+// message frontier advances at least one hop per frame — so dissemination
+// finishes within eccentricity-many frames on ANY degree-bounded topology —
+// while contention MACs give no such bound and uncoordinated duty cycling
+// can stall entirely.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	ttdc "repro"
+	"repro/internal/tablewriter"
+)
+
+func main() {
+	const (
+		n    = 25
+		d    = 3
+		seed = 17
+	)
+	rng := ttdc.NewRNG(seed)
+	g := ttdc.RandomBoundedDegree(n, d, 4, rng)
+	ecc := ttdc.Eccentricity(g, 0)
+	fmt.Printf("deployment: %d sensors, %d links, eccentricity(%d) = %d hops\n\n",
+		g.N(), g.EdgeCount(), 0, ecc)
+
+	ns, err := ttdc.PolynomialSchedule(n, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	duty, err := ttdc.Construct(ns, ttdc.ConstructOptions{AlphaT: 4, AlphaR: 8, D: d})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	protocols := []struct {
+		name  string
+		proto ttdc.Protocol
+		// frames granted, scaled so every protocol gets the same slot
+		// budget
+		frames int
+	}{
+		{"TT non-sleeping", ttdc.ScheduleProtocol{S: ns}, 4 * (ecc + 1) * duty.L() / ns.L()},
+		{"TT duty (4,8)", ttdc.ScheduleProtocol{S: duty}, 4 * (ecc + 1)},
+		{"slotted ALOHA p=0.2", ttdc.NewAloha(0.2, seed), 4 * (ecc + 1) * duty.L()},
+		{"duty-ALOHA tx=.1 rx=.3", ttdc.NewDutyAloha(0.1, 0.3, seed), 4 * (ecc + 1) * duty.L()},
+	}
+	tab := tablewriter.New("Dissemination from node 0 (equal slot budgets)",
+		"protocol", "covered", "completion slot", "analytic bound (slots)", "awake %", "energy (J)")
+	for _, p := range protocols {
+		res, err := ttdc.RunFlood(g, p.proto, ttdc.FloodConfig{Source: 0, MaxFrames: p.frames})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bound := "-"
+		if sp, ok := p.proto.(ttdc.ScheduleProtocol); ok {
+			bound = fmt.Sprintf("%d", (ecc+1)*sp.S.L())
+		}
+		completion := "incomplete"
+		if res.CompletionSlot >= 0 {
+			completion = fmt.Sprintf("%d", res.CompletionSlot)
+		}
+		tab.AddRow(p.name, fmt.Sprintf("%d/%d", res.Covered, n), completion, bound,
+			fmt.Sprintf("%.0f", 100*res.ActiveFraction),
+			fmt.Sprintf("%.3f", res.TotalEnergy))
+	}
+	if err := tab.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nThe schedule-driven floods finish within their analytic bound on every")
+	fmt.Println("topology of the class; the duty-cycled one does so with most radios asleep.")
+}

@@ -1,0 +1,73 @@
+// Data collection: the workload WSN papers motivate — sensor readings
+// flowing to a sink over multiple hops. Compares a non-sleeping
+// topology-transparent schedule against its duty-cycled construction on the
+// same random deployment: the duty-cycled network trades latency for a
+// multi-fold cut in energy per delivered reading.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	ttdc "repro"
+	"repro/internal/tablewriter"
+)
+
+func main() {
+	const (
+		n    = 25
+		d    = 3
+		seed = 20070326
+	)
+	rng := ttdc.NewRNG(seed)
+
+	// A random connected sensor deployment with bounded degree.
+	g := ttdc.RandomBoundedDegree(n, d, 4, rng)
+	fmt.Printf("deployment: %d sensors, %d links, max degree %d (class N(%d, %d))\n\n",
+		g.N(), g.EdgeCount(), g.MaxDegree(), n, d)
+
+	ns, err := ttdc.PolynomialSchedule(n, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	configs := []struct {
+		name           string
+		alphaT, alphaR int
+	}{
+		{"non-sleeping", 0, 0},
+		{"duty (5,10)", 5, 10},
+		{"duty (3,6)", 3, 6},
+		{"duty (2,4)", 2, 4},
+	}
+	tab := tablewriter.New("Poisson convergecast to node 0 (rate 0.001 pkt/slot/sensor)",
+		"schedule", "frame", "awake %", "delivery %", "p50 latency", "p95 latency", "mJ/reading")
+	for _, c := range configs {
+		s := ns
+		if c.alphaT > 0 {
+			if s, err = ttdc.Construct(ns, ttdc.ConstructOptions{
+				AlphaT: c.alphaT, AlphaR: c.alphaR, D: d,
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		frames := 40000 / s.L()
+		res, err := ttdc.RunConvergecast(g, s, ttdc.ConvergecastConfig{
+			Sink: 0, Rate: 0.001, Frames: frames, WarmupFrames: frames / 10, Seed: seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab.AddRow(c.name, s.L(),
+			fmt.Sprintf("%.1f", 100*s.ActiveFraction()),
+			fmt.Sprintf("%.1f", 100*res.DeliveryRatio),
+			res.Latency.Median(), res.Latency.Percentile(95),
+			fmt.Sprintf("%.2f", 1000*res.EnergyPerDelivered))
+	}
+	if err := tab.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nEvery configuration keeps delivering — the schedules are topology-transparent,")
+	fmt.Println("so no link can starve whatever the deployment looks like. Tighter (αT, αR)")
+	fmt.Println("caps cut the energy each reading costs, at the price of latency.")
+}

@@ -1,0 +1,209 @@
+package ttdc_test
+
+import (
+	"testing"
+
+	ttdc "repro"
+)
+
+func TestTransformFacade(t *testing.T) {
+	s, err := ttdc.PolynomialSchedule(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := make([]int, 9)
+	for i := range perm {
+		perm[i] = (i + 4) % 9
+	}
+	p, err := ttdc.PermuteNodes(s, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ttdc.IsTopologyTransparent(p, 2) {
+		t.Fatal("permutation broke TT")
+	}
+	r := ttdc.RotateSlots(s, 3)
+	if ttdc.AvgThroughput(r, 2).Cmp(ttdc.AvgThroughput(s, 2)) != 0 {
+		t.Fatal("rotation changed throughput")
+	}
+	c, err := ttdc.Concat(s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.L() != 2*s.L() {
+		t.Fatal("concat length wrong")
+	}
+	rep, err := ttdc.Repeat(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttdc.MinThroughput(rep, 2).Cmp(ttdc.MinThroughput(s, 2)) != 0 {
+		t.Fatal("repeat changed min throughput")
+	}
+	res, err := ttdc.Restrict(s, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N() != 6 || !ttdc.IsTopologyTransparent(res, 2) {
+		t.Fatal("restrict broke TT")
+	}
+}
+
+func TestSearchScheduleFacade(t *testing.T) {
+	s, err := ttdc.SearchSchedule(10, 2, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.L() != 10 || s.N() != 10 {
+		t.Fatalf("shape %d/%d", s.N(), s.L())
+	}
+	if !ttdc.IsTopologyTransparent(s, 2) {
+		t.Fatal("searched schedule not TT")
+	}
+	short, err := ttdc.ShortestSearchedSchedule(12, 2, 8, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.L() >= 12 {
+		t.Fatalf("search should beat TDMA's L=12, got %d", short.L())
+	}
+	if !ttdc.IsTopologyTransparent(short, 2) {
+		t.Fatal("shortest searched schedule not TT")
+	}
+}
+
+func TestProjectiveScheduleFacade(t *testing.T) {
+	// PG(2,5): 31 nodes at degree bound 5 with a 31-slot frame — far
+	// shorter than the polynomial construction needs at this D.
+	s, err := ttdc.ProjectiveSchedule(31, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.L() != 31 {
+		t.Fatalf("L = %d, want 31", s.L())
+	}
+	if !ttdc.IsTopologyTransparent(s, 5) {
+		t.Fatal("projective schedule not TT at D=5")
+	}
+	poly, err := ttdc.PolynomialSchedule(31, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.L() >= poly.L() {
+		t.Fatalf("projective L=%d should beat polynomial L=%d here", s.L(), poly.L())
+	}
+}
+
+func TestFloodFacade(t *testing.T) {
+	g := ttdc.Grid(3, 3)
+	s, err := ttdc.TDMA(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecc := ttdc.Eccentricity(g, 0)
+	res, err := ttdc.RunFlood(g, ttdc.ScheduleProtocol{S: s}, ttdc.FloodConfig{
+		Source: 0, MaxFrames: ecc + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covered != 9 || res.CompletionSlot < 0 {
+		t.Fatalf("flood incomplete: covered %d", res.Covered)
+	}
+}
+
+func TestContentionBaselinesFacade(t *testing.T) {
+	g := ttdc.Star(6)
+	res, err := ttdc.RunConvergecastProtocol(g, ttdc.NewAloha(0.3, 1), ttdc.ConvergecastConfig{
+		Sink: 0, Rate: 0.05, Frames: 500, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated == 0 {
+		t.Fatal("nothing generated")
+	}
+	duty, err := ttdc.RunConvergecastProtocol(g, ttdc.NewDutyAloha(0.1, 0.4, 3), ttdc.ConvergecastConfig{
+		Sink: 0, Rate: 0.05, Frames: 500, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if duty.ActiveFraction >= res.ActiveFraction {
+		t.Fatal("duty-ALOHA should sleep more than ALOHA")
+	}
+}
+
+func TestLifetimeFacade(t *testing.T) {
+	ns, err := ttdc.PolynomialSchedule(25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	duty, err := ttdc.Construct(ns, ttdc.ConstructOptions{AlphaT: 3, AlphaR: 5, D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := ttdc.EstimateLifetime(ns, ttdc.DefaultEnergy(), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycled, err := ttdc.EstimateLifetime(duty, ttdc.DefaultEnergy(), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycled.MinSeconds <= full.MinSeconds {
+		t.Fatal("duty cycling should extend lifetime")
+	}
+}
+
+func TestQuorumAndBoundFacade(t *testing.T) {
+	q, err := ttdc.NewQuorum(9, 3, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.FrameLen() != 9 {
+		t.Fatalf("quorum frame = %d", q.FrameLen())
+	}
+	if got := ttdc.MinFrameLowerBound(6, 1, 2); got != 18 {
+		t.Fatalf("MinFrameLowerBound = %d", got)
+	}
+	s, err := ttdc.SearchAlphaSchedule(6, 2, 1, 3, 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ttdc.IsTopologyTransparent(s, 2) || !s.IsAlphaSchedule(1, 3) {
+		t.Fatal("searched (1,3)-schedule invalid")
+	}
+	if s.L() != ttdc.MinFrameLowerBound(6, 1, 3) {
+		t.Fatalf("searched schedule at L=%d, bound %d", s.L(), ttdc.MinFrameLowerBound(6, 1, 3))
+	}
+}
+
+func TestParallelFacadeEquivalence(t *testing.T) {
+	s, err := ttdc.PolynomialSchedule(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := ttdc.CheckRequirement3Parallel(s, 3, 0); w != nil {
+		t.Fatalf("parallel checker: %v", w)
+	}
+	seq := ttdc.MinThroughput(s, 3)
+	par := ttdc.MinThroughputParallel(s, 3, 4)
+	if seq.Cmp(par) != 0 {
+		t.Fatalf("parallel min throughput %s != %s", par, seq)
+	}
+}
+
+func TestLatencyFacade(t *testing.T) {
+	s, err := ttdc.TDMA(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, ok := ttdc.WorstCaseHopLatency(s, 3)
+	if !ok || bound != 7 {
+		t.Fatalf("TDMA latency bound = %d/%v, want 7/true", bound, ok)
+	}
+	if got := ttdc.HopLatencyBound(s, 0, 1, []int{2, 3}); got != 7 {
+		t.Fatalf("per-link bound = %d", got)
+	}
+}

@@ -1,0 +1,85 @@
+package ttdc_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	ttdc "repro"
+)
+
+// FuzzDecodeSchedule hardens the JSON entry point: arbitrary bytes must
+// never panic, and anything that decodes must re-encode and decode to an
+// identical schedule. (Run with `go test -fuzz FuzzDecodeSchedule` to
+// explore; the seed corpus runs in normal `go test`.)
+func FuzzDecodeSchedule(f *testing.F) {
+	good, err := ttdc.TDMA(4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ttdc.EncodeSchedule(&buf, good); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"n":3,"t":[[0]],"r":[[1,2]]}`)
+	f.Add(`{"n":3,"t":[[0,1]],"r":[[1]]}`) // overlap: must error, not panic
+	f.Add(`{"n":-1}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Add(`{"n":1000000,"t":[],"r":[]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := ttdc.DecodeSchedule(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Round trip must be stable.
+		var out bytes.Buffer
+		if err := ttdc.EncodeSchedule(&out, s); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		s2, err := ttdc.DecodeSchedule(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if s2.N() != s.N() || s2.L() != s.L() {
+			t.Fatal("round trip changed shape")
+		}
+		for i := 0; i < s.L(); i++ {
+			if !s2.T(i).Equal(s.T(i)) || !s2.R(i).Equal(s.R(i)) {
+				t.Fatal("round trip changed content")
+			}
+		}
+	})
+}
+
+// FuzzScheduleFromSlotSets hardens the slot-set constructor: arbitrary
+// (frameLen, flattened sets) must never panic; successful construction
+// implies a structurally valid non-sleeping schedule.
+func FuzzScheduleFromSlotSets(f *testing.F) {
+	f.Add(3, 3, []byte{0, 1, 2})
+	f.Add(2, 5, []byte{0, 0})
+	f.Add(0, 0, []byte{})
+	f.Fuzz(func(t *testing.T, frameLen, n int, raw []byte) {
+		if frameLen < 0 || frameLen > 64 || n < 0 || n > 16 || len(raw) > 64 {
+			return
+		}
+		sets := make([][]int, n)
+		for i, b := range raw {
+			if n == 0 {
+				break
+			}
+			sets[i%n] = append(sets[i%n], int(b))
+		}
+		s, err := ttdc.ScheduleFromSlotSets(frameLen, sets)
+		if err != nil {
+			return
+		}
+		if !s.IsNonSleeping() {
+			t.Fatal("slot-set schedule should be non-sleeping")
+		}
+		if s.L() != frameLen || s.N() != n {
+			t.Fatal("shape mismatch")
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/cff"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+func TestColoringTDMAIsProper(t *testing.T) {
+	for _, g := range []*topology.Graph{
+		topology.Ring(7),
+		topology.Grid(3, 4),
+		topology.Star(8),
+		topology.RandomBoundedDegree(20, 4, 10, stats.NewRNG(1)),
+	} {
+		s, err := ColoringTDMA(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.IsNonSleeping() {
+			t.Fatal("coloring TDMA should be non-sleeping")
+		}
+		// Each node transmits in exactly one slot.
+		for v := 0; v < g.N(); v++ {
+			if s.Tran(v).Count() != 1 {
+				t.Fatalf("node %d transmits %d times", v, s.Tran(v).Count())
+			}
+		}
+		// Distance-2 separation: co-slot nodes are neither adjacent nor
+		// share a neighbour.
+		for i := 0; i < s.L(); i++ {
+			slot := s.T(i).Elements()
+			for a := 0; a < len(slot); a++ {
+				for b := a + 1; b < len(slot); b++ {
+					u, v := slot[a], slot[b]
+					if g.HasEdge(u, v) {
+						t.Fatalf("adjacent nodes %d,%d share slot %d", u, v, i)
+					}
+					if g.NeighborSet(u).Intersects(g.NeighborSet(v)) {
+						t.Fatalf("distance-2 nodes %d,%d share slot %d", u, v, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestColoringTDMACollisionFreeOnOwnGraph(t *testing.T) {
+	g := topology.Grid(4, 4)
+	s, err := ColoringTDMA(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunSaturation(g, s, 2, sim.DefaultEnergy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CollisionSlots != 0 {
+		t.Fatalf("coloring TDMA collided %d times on its own graph", res.CollisionSlots)
+	}
+	if res.MinLinkPerFrame < 1 {
+		t.Fatalf("some link starved: %v", res.MinLinkPerFrame)
+	}
+}
+
+func TestColoringTDMAShorterThanClassTDMA(t *testing.T) {
+	// The whole point of topology knowledge: far fewer slots than n.
+	g := topology.Grid(5, 5)
+	s, err := ColoringTDMA(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.L() >= g.N() {
+		t.Fatalf("coloring frame %d not shorter than n = %d", s.L(), g.N())
+	}
+}
+
+func TestColoringTDMABreaksUnderChurn(t *testing.T) {
+	// Build for one unit-disk deployment, run on a moved one: links can
+	// starve. (This is E11's core claim; here we only assert the mechanism
+	// can be observed — a moved topology with a starved link exists.)
+	rng := stats.NewRNG(9)
+	dep := topology.RandomGeometric(25, 0.35, rng)
+	dep.Graph.EnforceMaxDegree(5, rng)
+	s, err := ColoringTDMA(dep.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starvedSomewhere := false
+	for trial := 0; trial < 20 && !starvedSomewhere; trial++ {
+		dep.Step(0.15, rng)
+		moved := dep.Graph.Clone()
+		moved.EnforceMaxDegree(5, rng)
+		if moved.EdgeCount() == 0 {
+			continue
+		}
+		res, err := sim.RunSaturation(moved, s, 1, sim.DefaultEnergy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MinLinkPerFrame == 0 {
+			starvedSomewhere = true
+		}
+	}
+	if !starvedSomewhere {
+		t.Fatal("coloring TDMA never starved a link across 20 random churn steps")
+	}
+}
+
+func TestRandomDutyCycle(t *testing.T) {
+	rng := stats.NewRNG(4)
+	s, err := RandomDutyCycle(10, 20, 0.2, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 10 || s.L() != 20 {
+		t.Fatalf("shape %d/%d", s.N(), s.L())
+	}
+	if s.ActiveFraction() >= 1 {
+		t.Fatal("random duty cycle should sleep someone")
+	}
+	// Errors on bad input.
+	if _, err := RandomDutyCycle(0, 5, 0.1, 0.1, rng); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := RandomDutyCycle(5, 5, 1.5, 0.1, rng); err == nil {
+		t.Fatal("p>1 accepted")
+	}
+}
+
+func TestSymmetricConstruction(t *testing.T) {
+	fam, err := cff.PolynomialFor(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := core.ScheduleFromFamily(fam.L, fam.Sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Symmetric(ns, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsAlphaSchedule(3, 3) {
+		t.Fatal("not a (3,3)-schedule")
+	}
+	if w := core.CheckRequirement3(s, 2); w != nil {
+		t.Fatalf("symmetric schedule not TT: %v", w)
+	}
+	// Every slot has exactly alpha receivers (construction pads).
+	for i := 0; i < s.L(); i++ {
+		if s.R(i).Count() != 3 {
+			t.Fatalf("slot %d receivers = %d", i, s.R(i).Count())
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Package bitset provides a dense, fixed-capacity bitset used throughout the
+// library to represent node sets (subsets of V_n) and slot sets (subsets of
+// a frame [0, L)).
+//
+// Topology-transparency checks and worst-case throughput computations iterate
+// over very large numbers of subsets (on the order of C(n-1, D) per node), so
+// the representation is a flat []uint64 with no per-element allocation, and
+// all binary operations have in-place variants.
+//
+// A Set has a fixed capacity chosen at creation; all elements must lie in
+// [0, capacity). Operations between sets of different capacities are allowed
+// and behave as if the shorter set were padded with zero bits.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bitset. The zero value is an empty set with capacity 0;
+// use New to create a set with room for elements.
+type Set struct {
+	words []uint64
+	cap   int
+}
+
+// New returns an empty set with capacity for elements in [0, capacity).
+func New(capacity int) *Set {
+	if capacity < 0 {
+		panic(fmt.Sprintf("bitset: negative capacity %d", capacity))
+	}
+	return &Set{
+		words: make([]uint64, (capacity+wordBits-1)/wordBits),
+		cap:   capacity,
+	}
+}
+
+// FromSlice returns a set with the given capacity containing every element
+// of elems. It panics if an element is out of range.
+func FromSlice(capacity int, elems []int) *Set {
+	s := New(capacity)
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+// Cap returns the capacity of the set: elements lie in [0, Cap()).
+func (s *Set) Cap() int { return s.cap }
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.cap {
+		panic(fmt.Sprintf("bitset: element %d out of range [0,%d)", i, s.cap))
+	}
+}
+
+// Add inserts i into the set.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes i from the set.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Contains reports whether i is in the set. Out-of-range values are simply
+// not contained (no panic), which lets callers probe safely.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.cap {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all elements, keeping the capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), cap: s.cap}
+	copy(c.words, s.words)
+	return c
+}
+
+// Copy overwrites s with the contents of o. The sets must have the same
+// capacity.
+func (s *Set) Copy(o *Set) {
+	if s.cap != o.cap {
+		panic(fmt.Sprintf("bitset: Copy capacity mismatch %d != %d", s.cap, o.cap))
+	}
+	copy(s.words, o.words)
+}
+
+// Equal reports whether s and o contain exactly the same elements.
+func (s *Set) Equal(o *Set) bool {
+	a, b := s.words, o.words
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	for i, w := range b {
+		if a[i] != w {
+			return false
+		}
+	}
+	for _, w := range a[len(b):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// UnionWith adds every element of o to s (s |= o). Elements of o beyond
+// s's capacity cause a panic.
+func (s *Set) UnionWith(o *Set) {
+	if o.cap > s.cap {
+		// Permit only if the extra words are zero.
+		for i := len(s.words); i < len(o.words); i++ {
+			if o.words[i] != 0 {
+				panic("bitset: UnionWith operand exceeds receiver capacity")
+			}
+		}
+	}
+	for i := 0; i < minInt(len(s.words), len(o.words)); i++ {
+		s.words[i] |= o.words[i]
+	}
+}
+
+// IntersectWith keeps only the elements of s that are also in o (s &= o).
+func (s *Set) IntersectWith(o *Set) {
+	n := minInt(len(s.words), len(o.words))
+	for i := 0; i < n; i++ {
+		s.words[i] &= o.words[i]
+	}
+	for i := n; i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+}
+
+// DifferenceWith removes every element of o from s (s &^= o).
+func (s *Set) DifferenceWith(o *Set) {
+	for i := 0; i < minInt(len(s.words), len(o.words)); i++ {
+		s.words[i] &^= o.words[i]
+	}
+}
+
+// Union returns a new set containing the union of s and o, with the larger
+// of the two capacities.
+func Union(s, o *Set) *Set {
+	if o.cap > s.cap {
+		s, o = o, s
+	}
+	r := s.Clone()
+	r.UnionWith(o)
+	return r
+}
+
+// Intersect returns a new set containing the intersection of s and o.
+func Intersect(s, o *Set) *Set {
+	if o.cap > s.cap {
+		s, o = o, s
+	}
+	r := s.Clone()
+	r.IntersectWith(o)
+	return r
+}
+
+// Difference returns a new set containing s \ o.
+func Difference(s, o *Set) *Set {
+	r := s.Clone()
+	r.DifferenceWith(o)
+	return r
+}
+
+// Intersects reports whether s and o share at least one element, without
+// allocating.
+func (s *Set) Intersects(o *Set) bool {
+	for i := 0; i < minInt(len(s.words), len(o.words)); i++ {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every element of s is in o.
+func (s *Set) SubsetOf(o *Set) bool {
+	n := minInt(len(s.words), len(o.words))
+	for i := 0; i < n; i++ {
+		if s.words[i]&^o.words[i] != 0 {
+			return false
+		}
+	}
+	for i := n; i < len(s.words); i++ {
+		if s.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectionCount returns |s ∩ o| without allocating.
+func (s *Set) IntersectionCount(o *Set) int {
+	n := 0
+	for i := 0; i < minInt(len(s.words), len(o.words)); i++ {
+		n += bits.OnesCount64(s.words[i] & o.words[i])
+	}
+	return n
+}
+
+// DifferenceCount returns |s \ o| without allocating.
+func (s *Set) DifferenceCount(o *Set) int {
+	n := 0
+	m := minInt(len(s.words), len(o.words))
+	for i := 0; i < m; i++ {
+		n += bits.OnesCount64(s.words[i] &^ o.words[i])
+	}
+	for i := m; i < len(s.words); i++ {
+		n += bits.OnesCount64(s.words[i])
+	}
+	return n
+}
+
+// DifferenceEmpty reports whether s \ o is empty, i.e. s ⊆ o, restricted to
+// shared words; it is an alias of SubsetOf kept for call-site readability in
+// freeSlots-style expressions.
+func (s *Set) DifferenceEmpty(o *Set) bool { return s.SubsetOf(o) }
+
+// ForEach calls fn for each element of the set in increasing order. If fn
+// returns false, iteration stops early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Elements returns the elements of the set in increasing order.
+func (s *Set) Elements() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s *Set) Min() int {
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Max returns the largest element, or -1 if the set is empty.
+func (s *Set) Max() int {
+	for wi := len(s.words) - 1; wi >= 0; wi-- {
+		if w := s.words[wi]; w != 0 {
+			return wi*wordBits + wordBits - 1 - bits.LeadingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// String renders the set as "{a, b, c}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,324 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if !s.Empty() {
+		t.Fatal("new set should be empty")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", s.Count())
+	}
+	if s.Cap() != 100 {
+		t.Fatalf("Cap = %d, want 100", s.Cap())
+	}
+	if s.Min() != -1 || s.Max() != -1 {
+		t.Fatalf("Min/Max of empty set = %d/%d, want -1/-1", s.Min(), s.Max())
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(i) {
+			t.Fatalf("Contains(%d) before Add", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("!Contains(%d) after Add", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) after Remove")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	// Removing an absent element is a no-op.
+	s.Remove(64)
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count after double Remove = %d, want 7", got)
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add out of range did not panic")
+		}
+	}()
+	New(10).Add(10)
+}
+
+func TestContainsOutOfRangeIsFalse(t *testing.T) {
+	s := New(10)
+	if s.Contains(-1) || s.Contains(10) || s.Contains(1000) {
+		t.Fatal("out-of-range Contains should be false")
+	}
+}
+
+func TestFromSliceElements(t *testing.T) {
+	in := []int{5, 3, 99, 0, 64}
+	s := FromSlice(100, in)
+	sort.Ints(in)
+	if got := s.Elements(); !reflect.DeepEqual(got, in) {
+		t.Fatalf("Elements = %v, want %v", got, in)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := FromSlice(200, []int{17, 130, 64, 5})
+	if s.Min() != 5 {
+		t.Fatalf("Min = %d, want 5", s.Min())
+	}
+	if s.Max() != 130 {
+		t.Fatalf("Max = %d, want 130", s.Max())
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromSlice(128, []int{1, 2, 3, 70})
+	b := FromSlice(128, []int{3, 4, 70, 100})
+
+	if got := Union(a, b).Elements(); !reflect.DeepEqual(got, []int{1, 2, 3, 4, 70, 100}) {
+		t.Fatalf("Union = %v", got)
+	}
+	if got := Intersect(a, b).Elements(); !reflect.DeepEqual(got, []int{3, 70}) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if got := Difference(a, b).Elements(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("Difference = %v", got)
+	}
+	if !a.Intersects(b) {
+		t.Fatal("Intersects = false, want true")
+	}
+	if a.SubsetOf(b) {
+		t.Fatal("SubsetOf = true, want false")
+	}
+	if !Intersect(a, b).SubsetOf(a) {
+		t.Fatal("a∩b should be subset of a")
+	}
+	if got := a.IntersectionCount(b); got != 2 {
+		t.Fatalf("IntersectionCount = %d, want 2", got)
+	}
+	if got := a.DifferenceCount(b); got != 2 {
+		t.Fatalf("DifferenceCount = %d, want 2", got)
+	}
+}
+
+func TestMixedCapacities(t *testing.T) {
+	small := FromSlice(10, []int{1, 2})
+	big := FromSlice(1000, []int{2, 3, 999})
+
+	u := Union(small, big)
+	if got := u.Elements(); !reflect.DeepEqual(got, []int{1, 2, 3, 999}) {
+		t.Fatalf("Union mixed caps = %v", got)
+	}
+	if small.Equal(big) {
+		t.Fatal("Equal across caps should be false here")
+	}
+	s2 := FromSlice(10, []int{2, 3})
+	b2 := FromSlice(1000, []int{2, 3})
+	if !s2.Equal(b2) || !b2.Equal(s2) {
+		t.Fatal("Equal should ignore trailing zero capacity")
+	}
+	if !s2.SubsetOf(big) {
+		t.Fatal("small {2,3} should be subset of big {2,3,999}")
+	}
+	if big.SubsetOf(s2) {
+		t.Fatal("big should not be subset of small")
+	}
+	if got := big.DifferenceCount(s2); got != 1 {
+		t.Fatalf("DifferenceCount = %d, want 1", got)
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := FromSlice(64, []int{1, 2, 3})
+	b := FromSlice(64, []int{3, 4})
+
+	c := a.Clone()
+	c.UnionWith(b)
+	if got := c.Elements(); !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
+		t.Fatalf("UnionWith = %v", got)
+	}
+	c = a.Clone()
+	c.IntersectWith(b)
+	if got := c.Elements(); !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("IntersectWith = %v", got)
+	}
+	c = a.Clone()
+	c.DifferenceWith(b)
+	if got := c.Elements(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("DifferenceWith = %v", got)
+	}
+	// Original untouched.
+	if got := a.Elements(); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("a mutated: %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice(64, []int{1})
+	b := a.Clone()
+	b.Add(2)
+	if a.Contains(2) {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestCopy(t *testing.T) {
+	a := FromSlice(64, []int{1, 5})
+	b := New(64)
+	b.Copy(a)
+	if !b.Equal(a) {
+		t.Fatal("Copy mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Copy across capacities should panic")
+		}
+	}()
+	New(10).Copy(a)
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromSlice(64, []int{1, 2, 3, 4})
+	var seen []int
+	s.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 2
+	})
+	if !reflect.DeepEqual(seen, []int{1, 2}) {
+		t.Fatalf("early stop saw %v", seen)
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := FromSlice(64, []int{1, 2, 3})
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("Clear did not empty the set")
+	}
+	if s.Cap() != 64 {
+		t.Fatal("Clear changed capacity")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromSlice(10, []int{3, 1}).String(); got != "{1, 3}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(4).String(); got != "{}" {
+		t.Fatalf("String empty = %q", got)
+	}
+}
+
+// randomSet builds a random subset of [0, n) using r.
+func randomSet(r *rand.Rand, n int) *Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+// Property-based tests: classic set-algebra laws over random sets.
+
+func TestQuickDeMorgan(t *testing.T) {
+	// |a ∪ b| + |a ∩ b| == |a| + |b|
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		a, b := randomSet(r, n), randomSet(r, n)
+		return Union(a, b).Count()+Intersect(a, b).Count() == a.Count()+b.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDifferencePartition(t *testing.T) {
+	// a = (a\b) ⊎ (a∩b), disjointly.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		a, b := randomSet(r, n), randomSet(r, n)
+		d := Difference(a, b)
+		i := Intersect(a, b)
+		if d.Intersects(i) {
+			return false
+		}
+		return Union(d, i).Equal(a) && d.Count()+i.Count() == a.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCountsMatchAllocFree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		a, b := randomSet(r, n), randomSet(r, n)
+		if a.IntersectionCount(b) != Intersect(a, b).Count() {
+			return false
+		}
+		if a.DifferenceCount(b) != Difference(a, b).Count() {
+			return false
+		}
+		if a.Intersects(b) != (Intersect(a, b).Count() > 0) {
+			return false
+		}
+		return a.SubsetOf(b) == Difference(a, b).Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickElementsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		a := randomSet(r, n)
+		return FromSlice(n, a.Elements()).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionWith(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randomSet(r, 4096)
+	y := randomSet(r, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.UnionWith(y)
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randomSet(r, 4096)
+	b.ResetTimer()
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		x.ForEach(func(e int) bool { sum += e; return true })
+	}
+	_ = sum
+}

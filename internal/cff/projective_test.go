@@ -1,0 +1,143 @@
+package cff
+
+import (
+	"testing"
+)
+
+func TestSingerDifferenceSets(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 7, 11} {
+		ds, err := SingerDifferenceSet(p)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		v := p*p + p + 1
+		if err := VerifyPerfectDifferenceSet(v, ds); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestSingerRejectsNonPrime(t *testing.T) {
+	for _, p := range []int{1, 4, 6, 9} {
+		if _, err := SingerDifferenceSet(p); err == nil {
+			t.Fatalf("p=%d accepted", p)
+		}
+	}
+}
+
+func TestVerifyPerfectDifferenceSetCatchesFakes(t *testing.T) {
+	// The Fano difference set {0,1,3} mod 7 is perfect; {0,1,2} is not.
+	if err := VerifyPerfectDifferenceSet(7, []int{0, 1, 3}); err != nil {
+		t.Fatalf("known-good set rejected: %v", err)
+	}
+	if err := VerifyPerfectDifferenceSet(7, []int{0, 1, 2}); err == nil {
+		t.Fatal("bad set accepted")
+	}
+	if err := VerifyPerfectDifferenceSet(8, []int{0, 1, 3}); err == nil {
+		t.Fatal("wrong modulus accepted")
+	}
+}
+
+func TestProjectivePlaneIsSteinerSystem(t *testing.T) {
+	// Every pair of points lies on exactly one line: count pair coverage.
+	for _, p := range []int{2, 3, 5} {
+		v := p*p + p + 1
+		f, err := ProjectivePlane(v, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		pairCount := make(map[[2]int]int)
+		for _, line := range f.Sets {
+			pts := line.Elements()
+			if len(pts) != p+1 {
+				t.Fatalf("p=%d: line size %d", p, len(pts))
+			}
+			for i := 0; i < len(pts); i++ {
+				for j := i + 1; j < len(pts); j++ {
+					pairCount[[2]int{pts[i], pts[j]}]++
+				}
+			}
+		}
+		want := v * (v - 1) / 2
+		if len(pairCount) != want {
+			t.Fatalf("p=%d: %d pairs covered, want %d", p, len(pairCount), want)
+		}
+		for pair, c := range pairCount {
+			if c != 1 {
+				t.Fatalf("p=%d: pair %v on %d lines", p, pair, c)
+			}
+		}
+	}
+}
+
+func TestProjectivePlaneLinesIntersectOnce(t *testing.T) {
+	f, err := ProjectivePlane(13, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < f.N(); i++ {
+		for j := i + 1; j < f.N(); j++ {
+			if c := f.Sets[i].IntersectionCount(f.Sets[j]); c != 1 {
+				t.Fatalf("lines %d,%d share %d points", i, j, c)
+			}
+		}
+	}
+}
+
+func TestProjectivePlaneCoverFree(t *testing.T) {
+	// D-cover-free for every D <= p.
+	f2, err := ProjectivePlane(7, 2) // Fano plane
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f2.IsCoverFree(2) {
+		t.Fatal("Fano plane not 2-cover-free")
+	}
+	f3, err := ProjectivePlane(13, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 1; d <= 3; d++ {
+		if !f3.IsCoverFree(d) {
+			t.Fatalf("PG(2,3) not %d-cover-free", d)
+		}
+	}
+	// And NOT (p+1)-cover-free when enough lines exist: p+1 lines through
+	// a common point cover any other line entirely... verify the checker
+	// can find a violation at D = p+1 for the full plane.
+	full3, err := ProjectivePlane(13, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full3.IsCoverFree(4) {
+		t.Fatal("PG(2,3) should not be 4-cover-free")
+	}
+}
+
+func TestProjectiveFor(t *testing.T) {
+	// n=20, D=3 → p=3 gives v=13 < 20, so p=5 (v=31).
+	f, err := ProjectiveFor(20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 20 || f.L != 31 {
+		t.Fatalf("shape n=%d L=%d", f.N(), f.L)
+	}
+	if !f.IsCoverFree(3) {
+		t.Fatal("not 3-cover-free")
+	}
+	if _, err := ProjectiveFor(0, 2); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func BenchmarkProjectivePlane31(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ProjectivePlane(31, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

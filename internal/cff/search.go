@@ -1,0 +1,204 @@
+package cff
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/stats"
+)
+
+// Randomized construction of cover-free families. The algebraic
+// constructions (orthogonal arrays, Steiner systems) are asymptotically
+// excellent but quantized: the polynomial family jumps to the next prime
+// power q and frame q², which can overshoot badly for small n. Search finds
+// D-cover-free families at frame lengths the constructions cannot express,
+// by randomized local repair: start from random member sets and repeatedly
+// repair witnessed violations, moving slots of the covered set out of the
+// covering union.
+
+// SearchOptions parameterizes Search.
+type SearchOptions struct {
+	// N is the number of member sets (nodes) and D the cover-freeness
+	// order.
+	N, D int
+	// L is the ground-set (frame) size to search at.
+	L int
+	// SetSize is the member-set cardinality; 0 selects D+1, the smallest
+	// size that can be D-cover-free (with pairwise intersections <= 1, D
+	// sets cover at most D < D+1 slots). Larger sizes give nodes more
+	// transmission slots but are harder to pack at a given L.
+	SetSize int
+	// MaxIters bounds repair iterations; 0 selects 200·N·D.
+	MaxIters int
+	// Seed drives the randomized repair.
+	Seed uint64
+}
+
+// Search attempts to build a D-cover-free family of N sets over [0, L) by
+// randomized local repair, and returns a verified family or an error when
+// the iteration budget is exhausted (which does not prove non-existence).
+func Search(opts SearchOptions) (*Family, error) {
+	n, d, l := opts.N, opts.D, opts.L
+	if n < 2 || d < 1 || l < 1 {
+		return nil, fmt.Errorf("cff: Search needs n >= 2, D >= 1, L >= 1 (got %d, %d, %d)", n, d, l)
+	}
+	w := opts.SetSize
+	if w == 0 {
+		w = d + 1
+	}
+	if w > l {
+		w = l
+	}
+	if w < 1 {
+		w = 1
+	}
+	// Necessary condition (counting): if w*(d) < ... keep permissive; the
+	// verifier is the arbiter. But a set of size <= d covered by d sets of
+	// the same size sharing one slot each is easy, so warn early when the
+	// budget obviously cannot work.
+	if l < w {
+		return nil, fmt.Errorf("cff: Search with L = %d < set size %d", l, w)
+	}
+	maxIters := opts.MaxIters
+	if maxIters == 0 {
+		maxIters = 200 * n * d
+	}
+	rng := stats.NewRNG(opts.Seed)
+
+	f := &Family{L: l, Sets: make([]*bitset.Set, n), Name: fmt.Sprintf("search(n=%d,D=%d,L=%d,w=%d)", n, d, l, w)}
+	for i := range f.Sets {
+		f.Sets[i] = randomSubset(rng, l, w)
+	}
+	union := bitset.New(l)
+	for iter := 0; iter < maxIters; iter++ {
+		// Cheap randomized probe most iterations; exhaustive sweep
+		// periodically and at the end.
+		var v *Violation
+		if iter%25 == 24 {
+			v = f.FindViolation(d)
+		} else {
+			v = f.CheckRandom(d, 4*n, rng)
+		}
+		if v == nil {
+			if f.FindViolation(d) == nil {
+				return f, nil
+			}
+			continue
+		}
+		// Repair: pick a slot of B_x inside the covering union and move it
+		// to a random slot outside the union (and outside B_x).
+		union.Clear()
+		for _, y := range v.Cover {
+			union.UnionWith(f.Sets[y])
+		}
+		bx := f.Sets[v.X]
+		inside := bitset.Intersect(bx, union).Elements()
+		outside := make([]int, 0, l)
+		for e := 0; e < l; e++ {
+			if !union.Contains(e) && !bx.Contains(e) {
+				outside = append(outside, e)
+			}
+		}
+		if len(outside) == 0 {
+			// The union covers everything outside B_x: perturb a covering
+			// set instead, shrinking the union.
+			y := v.Cover[rng.Intn(len(v.Cover))]
+			mutate(rng, f.Sets[y], l)
+			continue
+		}
+		if len(inside) == 0 {
+			// Shouldn't happen for a real violation; defensive.
+			continue
+		}
+		drop := inside[rng.Intn(len(inside))]
+		add := outside[rng.Intn(len(outside))]
+		bx.Remove(drop)
+		bx.Add(add)
+	}
+	return nil, fmt.Errorf("cff: Search(n=%d, D=%d, L=%d, w=%d) exhausted %d iterations",
+		n, d, l, w, maxIters)
+}
+
+// randomSubset returns a uniform random w-subset of [0, l).
+func randomSubset(rng *stats.RNG, l, w int) *bitset.Set {
+	s := bitset.New(l)
+	perm := rng.Perm(l)
+	for i := 0; i < w; i++ {
+		s.Add(perm[i])
+	}
+	return s
+}
+
+// mutate swaps one random slot of set for a random absent slot.
+func mutate(rng *stats.RNG, set *bitset.Set, l int) {
+	elems := set.Elements()
+	if len(elems) == 0 || len(elems) == l {
+		return
+	}
+	for {
+		add := rng.Intn(l)
+		if !set.Contains(add) {
+			set.Remove(elems[rng.Intn(len(elems))])
+			set.Add(add)
+			return
+		}
+	}
+}
+
+// FindShortest searches downward from hi for the smallest frame length in
+// [lo, hi] at which Search succeeds, returning the best family found. The
+// scan is linear from hi (success at L does not imply success at L+1 for a
+// *randomized* searcher, so binary search would be unsound); it returns an
+// error if even hi fails.
+func FindShortest(n, d, lo, hi int, seed uint64) (*Family, error) {
+	if lo < 1 || hi < lo {
+		return nil, fmt.Errorf("cff: FindShortest range [%d, %d]", lo, hi)
+	}
+	var best *Family
+	for l := hi; l >= lo; l-- {
+		f, err := Search(SearchOptions{N: n, D: d, L: l, Seed: seed + uint64(l)})
+		if err != nil {
+			break
+		}
+		best = f
+	}
+	if best == nil {
+		return nil, fmt.Errorf("cff: FindShortest found nothing in [%d, %d]", lo, hi)
+	}
+	return best, nil
+}
+
+// FamilyFromSchedule extracts the set family underlying a non-sleeping
+// schedule's transmission half: member set x is the set of slots node x
+// transmits in. It is the inverse of core.ScheduleFromFamily. tranSets must
+// be per-node slot sets with capacity l.
+func FamilyFromSchedule(l int, tranSets []*bitset.Set) (*Family, error) {
+	if l < 1 || len(tranSets) == 0 {
+		return nil, fmt.Errorf("cff: FamilyFromSchedule(l=%d, n=%d)", l, len(tranSets))
+	}
+	sets := make([]*bitset.Set, len(tranSets))
+	for i, s := range tranSets {
+		if s == nil {
+			return nil, fmt.Errorf("cff: nil tran set %d", i)
+		}
+		c := bitset.New(l)
+		bad := -1
+		s.ForEach(func(e int) bool {
+			if e >= l {
+				bad = e
+				return false
+			}
+			c.Add(e)
+			return true
+		})
+		if bad >= 0 {
+			return nil, fmt.Errorf("cff: tran set %d has slot %d >= L = %d", i, bad, l)
+		}
+		sets[i] = c
+	}
+	f := &Family{L: l, Sets: sets, Name: "from-schedule"}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

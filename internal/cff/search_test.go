@@ -1,0 +1,152 @@
+package cff
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/stats"
+)
+
+func TestSearchFindsSmallFamilies(t *testing.T) {
+	cases := []SearchOptions{
+		{N: 6, D: 2, L: 9, Seed: 1},
+		{N: 10, D: 2, L: 9, Seed: 2}, // matches STS(9)'s 12-block capacity
+		{N: 8, D: 1, L: 5, Seed: 3},  // 1-cover-free = Sperner family
+		{N: 12, D: 2, L: 12, Seed: 4},
+	}
+	for _, c := range cases {
+		f, err := Search(c)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if f.N() != c.N || f.L != c.L {
+			t.Fatalf("%+v: got n=%d L=%d", c, f.N(), f.L)
+		}
+		if !f.IsCoverFree(c.D) {
+			t.Fatalf("%+v: search returned a non-cover-free family", c)
+		}
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	opts := SearchOptions{N: 8, D: 2, L: 10, Seed: 7}
+	a, err := Search(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Sets {
+		if !a.Sets[i].Equal(b.Sets[i]) {
+			t.Fatal("same seed produced different families")
+		}
+	}
+}
+
+func TestSearchRejectsBadOptions(t *testing.T) {
+	for _, c := range []SearchOptions{
+		{N: 1, D: 2, L: 5},
+		{N: 5, D: 0, L: 5},
+		{N: 5, D: 2, L: 0},
+	} {
+		if _, err := Search(c); err == nil {
+			t.Fatalf("%+v accepted", c)
+		}
+	}
+}
+
+func TestSearchFailsGracefullyWhenImpossible(t *testing.T) {
+	// 2-cover-free with 6 sets over a 3-slot ground set is impossible
+	// (each set would need >= 3 distinct slots... any set is covered).
+	if _, err := Search(SearchOptions{N: 6, D: 2, L: 3, MaxIters: 500, Seed: 1}); err == nil {
+		t.Fatal("impossible search should exhaust its budget")
+	}
+}
+
+func TestFindShortestBeatsTDMAForD2(t *testing.T) {
+	// For n = 12, D = 2, TDMA needs L = 12 but STS(9) proves L = 9
+	// suffices; the searcher should find something shorter than 12.
+	f, err := FindShortest(12, 2, 8, 12, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.L >= 12 {
+		t.Fatalf("search found only L = %d; expected < 12", f.L)
+	}
+	if !f.IsCoverFree(2) {
+		t.Fatal("shortest family not cover-free")
+	}
+	t.Logf("FindShortest(12, 2): L = %d (TDMA needs 12)", f.L)
+}
+
+func TestFindShortestRangeValidation(t *testing.T) {
+	if _, err := FindShortest(5, 2, 10, 5, 1); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	// A range where even hi fails.
+	if _, err := FindShortest(6, 2, 3, 3, 1); err == nil {
+		t.Fatal("impossible range should error")
+	}
+}
+
+func TestFamilyFromScheduleRoundTrip(t *testing.T) {
+	orig, err := PolynomialFor(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FamilyFromSchedule(orig.L, orig.Sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig.Sets {
+		if !back.Sets[i].Equal(orig.Sets[i]) {
+			t.Fatal("round trip changed sets")
+		}
+	}
+	if !back.IsCoverFree(2) {
+		t.Fatal("round-tripped family lost cover-freeness")
+	}
+}
+
+func TestFamilyFromScheduleValidation(t *testing.T) {
+	if _, err := FamilyFromSchedule(0, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	sets := []*bitset.Set{bitset.FromSlice(10, []int{9})}
+	if _, err := FamilyFromSchedule(5, sets); err == nil {
+		t.Fatal("slot beyond L accepted")
+	}
+	if _, err := FamilyFromSchedule(5, []*bitset.Set{nil}); err == nil {
+		t.Fatal("nil set accepted")
+	}
+}
+
+func TestSearchFamiliesProduceTTSchedules(t *testing.T) {
+	// Integration: search → family is usable as a schedule base (checked
+	// here only via the cover-free property, which Requirement 1 equals;
+	// the core package's tests close the loop to Requirement 3).
+	rng := stats.NewRNG(11)
+	for trial := 0; trial < 3; trial++ {
+		n := 6 + rng.Intn(5)
+		f, err := Search(SearchOptions{N: n, D: 2, L: n + 2, Seed: rng.Uint64()})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !f.IsCoverFree(2) {
+			t.Fatal("not cover-free")
+		}
+	}
+}
+
+func BenchmarkSearchN10D2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Search(SearchOptions{N: 10, D: 2, L: 10, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package cff
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// Triple is an unordered block of a Steiner triple system, stored sorted.
+type Triple [3]int
+
+// STS returns the blocks of a Steiner triple system of order v: a set of
+// triples over points {0..v-1} such that every pair of distinct points lies
+// in exactly one triple. Systems exist exactly for v ≡ 1 or 3 (mod 6);
+// other orders return an error.
+//
+// Orders v ≡ 3 (mod 6) use the Bose construction; orders v ≡ 1 (mod 6) use
+// cyclic difference triples found by a deterministic bounded backtracking
+// search (a constructive stand-in for Peltesohn's explicit solution of
+// Heffter's difference problem).
+func STS(v int) ([]Triple, error) {
+	switch {
+	case v < 3:
+		return nil, fmt.Errorf("cff: no STS of order %d", v)
+	case v%6 == 3:
+		return bose(v), nil
+	case v%6 == 1:
+		return cyclicSTS(v)
+	default:
+		return nil, fmt.Errorf("cff: STS(%d) does not exist (need v ≡ 1 or 3 mod 6)", v)
+	}
+}
+
+func sortedTriple(a, b, c int) Triple {
+	t := Triple{a, b, c}
+	sort.Ints(t[:])
+	return t
+}
+
+// bose builds STS(v) for v = 6t+3 via the Bose construction over the
+// idempotent commutative quasigroup i∘j = (i+j)(m+1)/2 mod m on Z_m,
+// m = 2t+1. Points (i, k) ∈ Z_m × {0,1,2} are numbered 3i+k.
+func bose(v int) []Triple {
+	m := v / 3 // odd
+	half := (m + 1) / 2
+	point := func(i, k int) int { return 3*i + k }
+	var blocks []Triple
+	for i := 0; i < m; i++ {
+		blocks = append(blocks, sortedTriple(point(i, 0), point(i, 1), point(i, 2)))
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			q := (i + j) * half % m
+			for k := 0; k < 3; k++ {
+				blocks = append(blocks, sortedTriple(point(i, k), point(j, k), point(q, (k+1)%3)))
+			}
+		}
+	}
+	sortBlocks(blocks)
+	return blocks
+}
+
+// cyclicSTS builds STS(v) for v = 6t+1 from t difference triples: triples
+// (a, b, c) with a + b = c or a + b + c = v that partition {1..3t}. Each
+// difference triple (a, b, c) yields the v translates of the base block
+// {0, a, a+b}.
+func cyclicSTS(v int) ([]Triple, error) {
+	t := v / 6
+	triples, err := differenceTriples(t, v)
+	if err != nil {
+		return nil, err
+	}
+	var blocks []Triple
+	for _, dt := range triples {
+		a, b := dt[0], dt[1]
+		for s := 0; s < v; s++ {
+			blocks = append(blocks, sortedTriple(s, (s+a)%v, (s+a+b)%v))
+		}
+	}
+	sortBlocks(blocks)
+	return blocks, nil
+}
+
+// differenceTriples finds t triples (a,b,c), a<b<c, with a+b == c or
+// a+b+c == v, partitioning {1..3t}. A bounded backtracking search is used:
+// repeatedly take the smallest unused difference as a and branch on b.
+// The bound exists to fail deterministically rather than hang; within the
+// orders this library targets the search succeeds quickly.
+func differenceTriples(t, v int) ([][3]int, error) {
+	if t == 0 {
+		return nil, nil
+	}
+	used := make([]bool, 3*t+1) // 1-based
+	out := make([][3]int, 0, t)
+	const budget = 5_000_000
+	steps := 0
+	var rec func() bool
+	rec = func() bool {
+		steps++
+		if steps > budget {
+			return false
+		}
+		a := 0
+		for d := 1; d <= 3*t; d++ {
+			if !used[d] {
+				a = d
+				break
+			}
+		}
+		if a == 0 {
+			return true // all differences consumed
+		}
+		used[a] = true
+		for b := a + 1; b <= 3*t; b++ {
+			if used[b] {
+				continue
+			}
+			// Type 1: c = a + b.
+			if c := a + b; c <= 3*t && !used[c] && c != b {
+				used[b], used[c] = true, true
+				out = append(out, [3]int{a, b, c})
+				if rec() {
+					return true
+				}
+				out = out[:len(out)-1]
+				used[b], used[c] = false, false
+			}
+			// Type 2: a + b + c == v.
+			if c := v - a - b; c > b && c <= 3*t && !used[c] {
+				used[b], used[c] = true, true
+				out = append(out, [3]int{a, b, c})
+				if rec() {
+					return true
+				}
+				out = out[:len(out)-1]
+				used[b], used[c] = false, false
+			}
+		}
+		used[a] = false
+		return false
+	}
+	if !rec() {
+		return nil, fmt.Errorf("cff: no difference triples found for v = %d within search budget", v)
+	}
+	return out, nil
+}
+
+func sortBlocks(blocks []Triple) {
+	sort.Slice(blocks, func(i, j int) bool {
+		a, b := blocks[i], blocks[j]
+		for k := 0; k < 3; k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// VerifySTS checks that the triples form a Steiner triple system of order
+// v: every unordered pair of points occurs in exactly one triple.
+func VerifySTS(v int, blocks []Triple) error {
+	if want := v * (v - 1) / 6; len(blocks) != want {
+		return fmt.Errorf("cff: %d blocks, want %d for STS(%d)", len(blocks), want, v)
+	}
+	seen := make(map[[2]int]bool)
+	for _, b := range blocks {
+		if !(0 <= b[0] && b[0] < b[1] && b[1] < b[2] && b[2] < v) {
+			return fmt.Errorf("cff: malformed block %v", b)
+		}
+		pairs := [][2]int{{b[0], b[1]}, {b[0], b[2]}, {b[1], b[2]}}
+		for _, p := range pairs {
+			if seen[p] {
+				return fmt.Errorf("cff: pair %v covered twice", p)
+			}
+			seen[p] = true
+		}
+	}
+	if len(seen) != v*(v-1)/2 {
+		return fmt.Errorf("cff: only %d of %d pairs covered", len(seen), v*(v-1)/2)
+	}
+	return nil
+}
+
+// STSOrderFor returns the smallest admissible STS order v (v ≡ 1 or 3 mod 6,
+// v >= 7) whose block count v(v-1)/6 is at least n.
+func STSOrderFor(n int) int {
+	for v := 7; ; v++ {
+		if v%6 != 1 && v%6 != 3 {
+			continue
+		}
+		if v*(v-1)/6 >= n {
+			return v
+		}
+	}
+}
+
+// Steiner builds a 2-cover-free family for n nodes from a Steiner triple
+// system: member sets are blocks of the system (distinct blocks share at
+// most one point, so two other blocks cover at most 2 of a block's 3
+// points). The ground set is the v points of the smallest adequate system;
+// the family supports D = 2 only, which Verify-callers must respect.
+func Steiner(n int) (*Family, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cff: Steiner family with n = %d", n)
+	}
+	v := STSOrderFor(n)
+	blocks, err := STS(v)
+	if err != nil {
+		return nil, err
+	}
+	sets := make([]*bitset.Set, n)
+	for i := 0; i < n; i++ {
+		s := bitset.New(v)
+		for _, p := range blocks[i] {
+			s.Add(p)
+		}
+		sets[i] = s
+	}
+	return &Family{L: v, Sets: sets, Name: fmt.Sprintf("steiner(v=%d)", v)}, nil
+}

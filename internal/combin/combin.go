@@ -1,0 +1,152 @@
+// Package combin provides the exact combinatorial arithmetic that the
+// throughput analysis of topology-transparent schedules relies on: binomial
+// coefficients as big integers, exact rationals built from them, and
+// iterators over k-subsets.
+//
+// Every throughput formula in the paper (Theorems 2, 3, 4, 8) is a ratio of
+// products of binomial coefficients. Floating point cannot certify the
+// paper's "equality holds if and only if" claims, so all analysis-side
+// computation is exact.
+package combin
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Binomial returns C(n, k) as a big.Int. By the usual convention it is 0
+// when k < 0 or k > n, and C(n, 0) == 1 for n >= 0. Negative n panics:
+// the schedules never produce it, so it always indicates a caller bug.
+func Binomial(n, k int) *big.Int {
+	if n < 0 {
+		panic(fmt.Sprintf("combin: Binomial with negative n = %d", n))
+	}
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// BinomialRat returns C(n, k) as a big.Rat.
+func BinomialRat(n, k int) *big.Rat {
+	return new(big.Rat).SetInt(Binomial(n, k))
+}
+
+// Rat returns the exact rational a/b. It panics if b == 0.
+func Rat(a, b int64) *big.Rat {
+	return big.NewRat(a, b)
+}
+
+// RatFromInts returns num/den for big.Int inputs. It panics if den == 0.
+func RatFromInts(num, den *big.Int) *big.Rat {
+	if den.Sign() == 0 {
+		panic("combin: zero denominator")
+	}
+	return new(big.Rat).SetFrac(num, den)
+}
+
+// Combinations calls fn with each k-subset of {0, ..., n-1} in
+// lexicographic order. The slice passed to fn is reused between calls; the
+// callback must copy it if it needs to retain it. If fn returns false,
+// enumeration stops early. The number of subsets visited is returned.
+//
+// k == 0 yields a single empty subset. k > n yields nothing.
+func Combinations(n, k int, fn func(subset []int) bool) int {
+	if k < 0 || n < 0 {
+		panic(fmt.Sprintf("combin: Combinations(%d, %d)", n, k))
+	}
+	if k > n {
+		return 0
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	count := 0
+	for {
+		count++
+		if !fn(idx) {
+			return count
+		}
+		// Advance to next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return count
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// CombinationsOf enumerates the k-subsets of the given universe slice, in
+// lexicographic order of positions. As with Combinations, the slice passed
+// to fn is reused.
+func CombinationsOf(universe []int, k int, fn func(subset []int) bool) int {
+	buf := make([]int, k)
+	return Combinations(len(universe), k, func(pos []int) bool {
+		for i, p := range pos {
+			buf[i] = universe[p]
+		}
+		return fn(buf)
+	})
+}
+
+// ArgmaxInt returns the x in candidates maximizing f(x), breaking ties in
+// favour of the earliest candidate (matching the paper's floor-first tie
+// rule for the optimal transmitter count). It panics on an empty slice.
+// Values of f are compared exactly as big.Int.
+func ArgmaxInt(candidates []int, f func(x int) *big.Int) int {
+	if len(candidates) == 0 {
+		panic("combin: ArgmaxInt of empty candidate list")
+	}
+	best := candidates[0]
+	bestV := f(best)
+	for _, c := range candidates[1:] {
+		if v := f(c); v.Cmp(bestV) > 0 {
+			best, bestV = c, v
+		}
+	}
+	return best
+}
+
+// CeilDiv returns ceil(a / b) for positive b.
+func CeilDiv(a, b int) int {
+	if b <= 0 {
+		panic(fmt.Sprintf("combin: CeilDiv with non-positive divisor %d", b))
+	}
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// FloorDiv returns floor(a / b) for positive b and non-negative a.
+func FloorDiv(a, b int) int {
+	if b <= 0 {
+		panic(fmt.Sprintf("combin: FloorDiv with non-positive divisor %d", b))
+	}
+	if a < 0 {
+		panic(fmt.Sprintf("combin: FloorDiv with negative dividend %d", a))
+	}
+	return a / b
+}
+
+// Factorial returns n! as a big.Int; n must be non-negative.
+func Factorial(n int) *big.Int {
+	if n < 0 {
+		panic(fmt.Sprintf("combin: Factorial(%d)", n))
+	}
+	return new(big.Int).MulRange(1, int64(n))
+}
+
+// RatFloat returns the float64 value of r (for reporting only; analysis
+// comparisons must stay exact).
+func RatFloat(r *big.Rat) float64 {
+	f, _ := r.Float64()
+	return f
+}

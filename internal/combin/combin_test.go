@@ -1,0 +1,251 @@
+package combin
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialSmall(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {5, 2, 10}, {10, 3, 120},
+		{10, 0, 1}, {10, 10, 1}, {10, 11, 0}, {10, -1, 0}, {52, 5, 2598960},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got.Cmp(big.NewInt(c.want)) != 0 {
+			t.Errorf("Binomial(%d,%d) = %v, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialNegativeNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Binomial(-1, 0) did not panic")
+		}
+	}()
+	Binomial(-1, 0)
+}
+
+func TestQuickPascal(t *testing.T) {
+	// C(n,k) = C(n-1,k-1) + C(n-1,k)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(60)
+		k := r.Intn(n + 1)
+		lhs := Binomial(n, k)
+		rhs := new(big.Int).Add(Binomial(n-1, k-1), Binomial(n-1, k))
+		return lhs.Cmp(rhs) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(80)
+		k := 0
+		if n > 0 {
+			k = r.Intn(n + 1)
+		}
+		return Binomial(n, k).Cmp(Binomial(n, n-k)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialRowSum(t *testing.T) {
+	// sum_k C(n,k) == 2^n
+	for n := 0; n <= 20; n++ {
+		sum := new(big.Int)
+		for k := 0; k <= n; k++ {
+			sum.Add(sum, Binomial(n, k))
+		}
+		want := new(big.Int).Lsh(big.NewInt(1), uint(n))
+		if sum.Cmp(want) != 0 {
+			t.Fatalf("row %d sum = %v, want %v", n, sum, want)
+		}
+	}
+}
+
+func TestCombinationsCount(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		for k := 0; k <= n+1; k++ {
+			got := 0
+			Combinations(n, k, func([]int) bool { got++; return true })
+			want := int(Binomial(n, k).Int64())
+			if got != want {
+				t.Fatalf("Combinations(%d,%d) yielded %d subsets, want %d", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestCombinationsOrderAndValidity(t *testing.T) {
+	var all [][]int
+	Combinations(5, 3, func(s []int) bool {
+		cp := append([]int(nil), s...)
+		all = append(all, cp)
+		return true
+	})
+	if len(all) != 10 {
+		t.Fatalf("got %d subsets, want 10", len(all))
+	}
+	if got := all[0]; got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("first subset = %v", got)
+	}
+	if got := all[9]; got[0] != 2 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("last subset = %v", got)
+	}
+	seen := map[[3]int]bool{}
+	for _, s := range all {
+		// strictly increasing, in range
+		if !(0 <= s[0] && s[0] < s[1] && s[1] < s[2] && s[2] < 5) {
+			t.Fatalf("invalid subset %v", s)
+		}
+		var key [3]int
+		copy(key[:], s)
+		if seen[key] {
+			t.Fatalf("duplicate subset %v", s)
+		}
+		seen[key] = true
+	}
+}
+
+func TestCombinationsEarlyStop(t *testing.T) {
+	n := 0
+	visited := Combinations(10, 2, func([]int) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 || visited != 3 {
+		t.Fatalf("early stop visited %d (returned %d), want 3", n, visited)
+	}
+}
+
+func TestCombinationsEmptySubset(t *testing.T) {
+	count := 0
+	Combinations(4, 0, func(s []int) bool {
+		if len(s) != 0 {
+			t.Fatalf("empty-subset call got %v", s)
+		}
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Fatalf("k=0 visited %d subsets, want 1", count)
+	}
+}
+
+func TestCombinationsOf(t *testing.T) {
+	var got [][]int
+	CombinationsOf([]int{10, 20, 30}, 2, func(s []int) bool {
+		got = append(got, append([]int(nil), s...))
+		return true
+	})
+	want := [][]int{{10, 20}, {10, 30}, {20, 30}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestArgmaxInt(t *testing.T) {
+	f := func(x int) *big.Int { return big.NewInt(int64(-(x - 3) * (x - 3))) }
+	if got := ArgmaxInt([]int{0, 1, 2, 3, 4, 5}, f); got != 3 {
+		t.Fatalf("ArgmaxInt = %d, want 3", got)
+	}
+	// Tie breaks to earliest candidate.
+	g := func(x int) *big.Int { return big.NewInt(7) }
+	if got := ArgmaxInt([]int{4, 9}, g); got != 4 {
+		t.Fatalf("tie-break ArgmaxInt = %d, want 4", got)
+	}
+}
+
+func TestCeilFloorDiv(t *testing.T) {
+	if got := CeilDiv(7, 3); got != 3 {
+		t.Fatalf("CeilDiv(7,3) = %d", got)
+	}
+	if got := CeilDiv(6, 3); got != 2 {
+		t.Fatalf("CeilDiv(6,3) = %d", got)
+	}
+	if got := CeilDiv(0, 3); got != 0 {
+		t.Fatalf("CeilDiv(0,3) = %d", got)
+	}
+	if got := FloorDiv(7, 3); got != 2 {
+		t.Fatalf("FloorDiv(7,3) = %d", got)
+	}
+}
+
+func TestQuickCeilDivIdentity(t *testing.T) {
+	// ceil(a/b) == floor((a+b-1)/b), and b*ceil(a/b) >= a > b*(ceil(a/b)-1)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := 1 + r.Intn(10000)
+		b := 1 + r.Intn(100)
+		c := CeilDiv(a, b)
+		return b*c >= a && b*(c-1) < a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactorial(t *testing.T) {
+	want := []int64{1, 1, 2, 6, 24, 120, 720}
+	for n, w := range want {
+		if got := Factorial(n); got.Cmp(big.NewInt(w)) != 0 {
+			t.Fatalf("Factorial(%d) = %v, want %d", n, got, w)
+		}
+	}
+	// C(n,k) == n! / (k!(n-k)!)
+	n, k := 12, 5
+	denom := new(big.Int).Mul(Factorial(k), Factorial(n-k))
+	q := new(big.Int).Div(Factorial(n), denom)
+	if q.Cmp(Binomial(n, k)) != 0 {
+		t.Fatal("factorial identity violated")
+	}
+}
+
+func TestRatHelpers(t *testing.T) {
+	r := Rat(1, 3)
+	if r.RatString() != "1/3" {
+		t.Fatalf("Rat = %s", r.RatString())
+	}
+	v := RatFromInts(big.NewInt(10), big.NewInt(4))
+	if v.RatString() != "5/2" {
+		t.Fatalf("RatFromInts = %s", v.RatString())
+	}
+	if f := RatFloat(Rat(1, 2)); f != 0.5 {
+		t.Fatalf("RatFloat = %v", f)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RatFromInts with zero denominator did not panic")
+		}
+	}()
+	RatFromInts(big.NewInt(1), big.NewInt(0))
+}
+
+func BenchmarkCombinations20C5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Combinations(20, 5, func([]int) bool { return true })
+	}
+}
+
+func BenchmarkBinomialLarge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Binomial(500, 250)
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/cff"
+	"repro/internal/stats"
+)
+
+func TestMaxCyclicGap(t *testing.T) {
+	cases := []struct {
+		elems []int
+		l     int
+		want  int
+	}{
+		{[]int{0}, 10, 9},         // single slot: worst wait is L-1
+		{[]int{0, 5}, 10, 4},      // evenly split
+		{[]int{0, 1}, 10, 8},      // adjacent pair: wrap gap of 9 → wait 8
+		{[]int{3}, 4, 3},          //
+		{[]int{0, 1, 2, 3}, 4, 0}, // every slot guaranteed: no wait
+		{nil, 7, -1},              // never guaranteed
+	}
+	for _, c := range cases {
+		set := bitset.FromSlice(c.l, c.elems)
+		if got := maxCyclicGap(set, c.l); got != c.want {
+			t.Errorf("maxCyclicGap(%v, %d) = %d, want %d", c.elems, c.l, got, c.want)
+		}
+	}
+}
+
+func TestHopLatencyBoundTDMA(t *testing.T) {
+	// TDMA over n nodes: each link has exactly one guaranteed slot per
+	// frame, so the worst hop wait is L-1 = n-1.
+	s := tdma(6)
+	for d := 1; d <= 5; d++ {
+		got, ok := WorstCaseHopLatency(s, d)
+		if !ok {
+			t.Fatalf("TDMA should have a finite bound at D=%d", d)
+		}
+		if got != 5 {
+			t.Fatalf("TDMA D=%d: bound %d, want 5", d, got)
+		}
+	}
+}
+
+func TestHopLatencyUnboundedForNonTT(t *testing.T) {
+	// Node 0 never transmits: no bound exists.
+	s, err := New(4, [][]int{{1}, {2}, {3}}, [][]int{{0, 2, 3}, {0, 1, 3}, {0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := WorstCaseHopLatency(s, 2); ok {
+		t.Fatal("non-TT schedule should have no finite latency bound")
+	}
+	if got := HopLatencyBound(s, 0, 1, []int{2}); got != -1 {
+		t.Fatalf("HopLatencyBound = %d, want -1", got)
+	}
+}
+
+func TestHopLatencyAtMostLMinus1ForTT(t *testing.T) {
+	// For TT schedules the bound is always <= L-1 (a guaranteed slot per
+	// frame recurs with period L).
+	fam, err := cff.PolynomialFor(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := mustFromFamily(t, fam)
+	inputs := []*Schedule{ns, tdma(8)}
+	out, err := Construct(ns, ConstructOptions{AlphaT: 2, AlphaR: 3, D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs = append(inputs, out)
+	for i, s := range inputs {
+		d := 2
+		if i == 1 {
+			d = 3
+		}
+		got, ok := WorstCaseHopLatency(s, d)
+		if !ok {
+			t.Fatalf("schedule %d should be TT", i)
+		}
+		if got > s.L()-1 {
+			t.Fatalf("schedule %d: bound %d exceeds L-1 = %d", i, got, s.L()-1)
+		}
+		if got < 0 {
+			t.Fatalf("schedule %d: negative bound", i)
+		}
+	}
+}
+
+func TestHopLatencyMonotoneInNeighbourhood(t *testing.T) {
+	// Adding interferers can only shrink 𝒯 and hence only grow (or keep)
+	// the wait.
+	check := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 4 + rng.Intn(3)
+		L := 3 + rng.Intn(5)
+		s := randomSchedule(rng, n, L, 0.3, 0.8)
+		x := rng.Intn(n)
+		y := (x + 1 + rng.Intn(n-1)) % n
+		var small, large []int
+		for v := 0; v < n; v++ {
+			if v == x || v == y {
+				continue
+			}
+			if rng.Bool(0.5) {
+				small = append(small, v)
+			}
+			large = append(large, v)
+		}
+		a := HopLatencyBound(s, x, y, small)
+		b := HopLatencyBound(s, x, y, large)
+		if a == -1 {
+			return b == -1
+		}
+		return b == -1 || b >= a
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorstCaseDominatesPerLink(t *testing.T) {
+	// The class-wide bound dominates every concrete link's bound.
+	fam, err := cff.PolynomialFor(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustFromFamily(t, fam)
+	bound, ok := WorstCaseHopLatency(s, 2)
+	if !ok {
+		t.Fatal("should be TT")
+	}
+	forEachTriple(s, 2, func(x, y int, set []int) bool {
+		if g := HopLatencyBound(s, x, y, set); g > bound {
+			t.Fatalf("link (%d→%d|%v) bound %d exceeds class bound %d", x, y, set, g, bound)
+		}
+		return true
+	})
+}

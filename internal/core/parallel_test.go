@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cff"
+	"repro/internal/stats"
+)
+
+func TestParallelCheckersMatchSequential(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 3 + rng.Intn(5)
+		L := 2 + rng.Intn(6)
+		d := 1 + rng.Intn(n-1)
+		s := randomSchedule(rng, n, L, 0.3, 0.7)
+		for _, workers := range []int{0, 1, 2, 7} {
+			seq3 := CheckRequirement3(s, d)
+			par3 := CheckRequirement3Parallel(s, d, workers)
+			if (seq3 == nil) != (par3 == nil) {
+				return false
+			}
+			if seq3 != nil {
+				// Deterministic witness: same x, same Y, same K.
+				if seq3.X != par3.X || seq3.K != par3.K || len(seq3.Y) != len(par3.Y) {
+					return false
+				}
+				for i := range seq3.Y {
+					if seq3.Y[i] != par3.Y[i] {
+						return false
+					}
+				}
+			}
+			seq1 := CheckRequirement1(s, d)
+			par1 := CheckRequirement1Parallel(s, d, workers)
+			if (seq1 == nil) != (par1 == nil) {
+				return false
+			}
+			if seq1 != nil && (seq1.X != par1.X) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelMinThroughputMatchesSequential(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 3 + rng.Intn(4)
+		L := 2 + rng.Intn(5)
+		d := 1 + rng.Intn(n-1)
+		s := randomSchedule(rng, n, L, 0.3, 0.8)
+		want := MinThroughput(s, d)
+		for _, workers := range []int{0, 1, 3} {
+			if MinThroughputParallel(s, d, workers).Cmp(want) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelOnRealSchedules(t *testing.T) {
+	fam, err := cff.PolynomialFor(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustFromFamily(t, fam)
+	if w := CheckRequirement3Parallel(s, 3, 4); w != nil {
+		t.Fatalf("parallel checker rejected a TT schedule: %v", w)
+	}
+	if w := CheckRequirement1Parallel(s, 3, 4); w != nil {
+		t.Fatalf("parallel Req1 rejected a TT schedule: %v", w)
+	}
+	duty, err := Construct(s, ConstructOptions{AlphaT: 3, AlphaR: 5, D: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := MinThroughput(duty, 3)
+	par := MinThroughputParallel(duty, 3, 4)
+	if seq.Cmp(par) != 0 {
+		t.Fatalf("min throughput %s (seq) vs %s (par)", seq, par)
+	}
+}
+
+func TestParallelPanicsOnBadD(t *testing.T) {
+	s := tdma(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad D accepted")
+		}
+	}()
+	CheckRequirement3Parallel(s, 0, 2)
+}
+
+func BenchmarkRequirement3Sequential(b *testing.B) {
+	fam, err := cff.PolynomialFor(49, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := ScheduleFromFamily(fam.L, fam.Sets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if CheckRequirement3(s, 3) != nil {
+			b.Fatal("violation")
+		}
+	}
+}
+
+func BenchmarkRequirement3Parallel(b *testing.B) {
+	fam, err := cff.PolynomialFor(49, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := ScheduleFromFamily(fam.L, fam.Sets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if CheckRequirement3Parallel(s, 3, 0) != nil {
+			b.Fatal("violation")
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Grid renders the schedule as a nodes × slots character grid: 'T' where
+// the node may transmit, 'R' where it may receive, '.' where it sleeps.
+// Rows are nodes, columns are slots — the natural way to eyeball a duty
+// cycle ("how often is each row awake?") and to spot imbalances. Intended
+// for debugging, docs, and CLI output; wide frames wrap at width columns
+// (0 means no wrap).
+func (s *Schedule) Grid(width int) string {
+	L := s.L()
+	if width <= 0 || width > L {
+		width = L
+	}
+	var b strings.Builder
+	for start := 0; start < L; start += width {
+		end := start + width
+		if end > L {
+			end = L
+		}
+		// Slot header (mod 10 digits to keep columns single-width).
+		fmt.Fprintf(&b, "%*s ", nodeWidth(s.n), "")
+		for i := start; i < end; i++ {
+			b.WriteByte(byte('0' + i%10))
+		}
+		b.WriteByte('\n')
+		for x := 0; x < s.n; x++ {
+			fmt.Fprintf(&b, "%*d ", nodeWidth(s.n), x)
+			for i := start; i < end; i++ {
+				switch s.RoleOf(x, i) {
+				case Transmit:
+					b.WriteByte('T')
+				case Receive:
+					b.WriteByte('R')
+				default:
+					b.WriteByte('.')
+				}
+			}
+			b.WriteByte('\n')
+		}
+		if end < L {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func nodeWidth(n int) int {
+	w := 1
+	for n >= 10 {
+		n /= 10
+		w++
+	}
+	return w
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGridRendering(t *testing.T) {
+	s, err := New(3, [][]int{{0}, {1}}, [][]int{{1, 2}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Grid(0)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 3 node rows
+		t.Fatalf("lines: %q", lines)
+	}
+	// Node 0: T in slot 0, R in slot 1.
+	if !strings.HasSuffix(lines[1], "TR") {
+		t.Fatalf("node 0 row = %q", lines[1])
+	}
+	// Node 1: R then T.
+	if !strings.HasSuffix(lines[2], "RT") {
+		t.Fatalf("node 1 row = %q", lines[2])
+	}
+	// Node 2: R then sleep.
+	if !strings.HasSuffix(lines[3], "R.") {
+		t.Fatalf("node 2 row = %q", lines[3])
+	}
+}
+
+func TestGridWrapping(t *testing.T) {
+	s := tdma(4)
+	out := s.Grid(2)
+	// Two blocks of (header + 4 rows), separated by a blank line.
+	blocks := strings.Split(strings.TrimRight(out, "\n"), "\n\n")
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %d:\n%s", len(blocks), out)
+	}
+	for _, blk := range blocks {
+		if got := len(strings.Split(blk, "\n")); got != 5 {
+			t.Fatalf("block lines = %d", got)
+		}
+	}
+}
+
+func TestGridCharacterCensus(t *testing.T) {
+	// In a non-sleeping schedule, every cell is T or R; counts match the
+	// slot sets.
+	s := tdma(5)
+	out := s.Grid(0)
+	tCount := strings.Count(out, "T")
+	rCount := strings.Count(out, "R")
+	if tCount != 5 || rCount != 20 {
+		t.Fatalf("census T=%d R=%d", tCount, rCount)
+	}
+	if strings.Contains(out, ".") {
+		t.Fatal("non-sleeping grid should have no sleep cells")
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/combin"
+)
+
+// Witness records a violation of a topology-transparency requirement: for
+// transmitter X and neighbourhood set Y (with |Y| = D), either no free slot
+// exists (K == -1, violating condition (1) of Requirement 3 / Requirement
+// 1) or the receiver Y[K] is never awake during X's free slots (violating
+// condition (2)).
+type Witness struct {
+	X int
+	Y []int
+	K int
+}
+
+func (w *Witness) String() string {
+	if w.K < 0 {
+		return fmt.Sprintf("node %d has no free slot against neighbourhood %v", w.X, w.Y)
+	}
+	return fmt.Sprintf("node %d cannot reach receiver %d (neighbourhood %v) in any free slot", w.X, w.Y[w.K], w.Y)
+}
+
+func validateD(n, d int) {
+	if d < 1 || d > n-1 {
+		panic(fmt.Sprintf("core: D = %d outside [1, n-1] for n = %d", d, n))
+	}
+}
+
+// CheckRequirement1 exhaustively verifies Requirement 1 on the transmission
+// half ⟨T⟩ of the schedule: for every node x and every set Y of D other
+// nodes, freeSlots(x, Y) ≠ ∅. It returns a violation witness or nil.
+// This is the cover-free-family condition; only tran(·) is consulted, so it
+// may be applied to any schedule, sleeping or not.
+func CheckRequirement1(s *Schedule, d int) *Witness {
+	validateD(s.n, d)
+	var found *Witness
+	others := make([]int, 0, s.n-1)
+	fs := bitset.New(s.L())
+	for x := 0; x < s.n && found == nil; x++ {
+		others = others[:0]
+		for v := 0; v < s.n; v++ {
+			if v != x {
+				others = append(others, v)
+			}
+		}
+		combin.CombinationsOf(others, d, func(y []int) bool {
+			fs.Copy(s.tran[x])
+			for _, v := range y {
+				fs.DifferenceWith(s.tran[v])
+			}
+			if fs.Empty() {
+				found = &Witness{X: x, Y: append([]int(nil), y...), K: -1}
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// CheckRequirement3 exhaustively verifies Requirement 3: for every node x
+// and every set Y = {y_0..y_{D-1}} of D other nodes, (1) freeSlots(x, Y) is
+// non-empty and (2) every y_k is scheduled to receive in at least one slot
+// of freeSlots(x, Y). It returns a violation witness or nil; a nil result
+// certifies (by Theorem 1 ⇔ Requirement 2, and the discussion in §4 of the
+// paper) that the schedule is topology-transparent for N(n, D).
+func CheckRequirement3(s *Schedule, d int) *Witness {
+	validateD(s.n, d)
+	for x := 0; x < s.n; x++ {
+		if w := CheckRequirement3Node(s, d, x); w != nil {
+			return w
+		}
+	}
+	return nil
+}
+
+// CheckRequirement3Node verifies Requirement 3 restricted to a single
+// transmitter node x: all D-subsets Y of the other nodes are checked. It
+// returns the first violating witness in lexicographic Y order, or nil.
+// CheckRequirement3 is the union of these per-node checks; incremental
+// schedule optimizers use the per-node form to probe constraints in
+// arbitrary order.
+func CheckRequirement3Node(s *Schedule, d, x int) *Witness {
+	validateD(s.n, d)
+	if x < 0 || x >= s.n {
+		panic(fmt.Sprintf("core: node %d out of range [0,%d)", x, s.n))
+	}
+	others := make([]int, 0, s.n-1)
+	for v := 0; v < s.n; v++ {
+		if v != x {
+			others = append(others, v)
+		}
+	}
+	fs := bitset.New(s.L())
+	var found *Witness
+	combin.CombinationsOf(others, d, func(y []int) bool {
+		fs.Copy(s.tran[x])
+		for _, v := range y {
+			fs.DifferenceWith(s.tran[v])
+		}
+		if fs.Empty() {
+			found = &Witness{X: x, Y: append([]int(nil), y...), K: -1}
+			return false
+		}
+		for k, v := range y {
+			if !s.recv[v].Intersects(fs) {
+				found = &Witness{X: x, Y: append([]int(nil), y...), K: k}
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// Req2Witness records a violation of Requirement 2: the σ-slots from X to
+// the receiver Y are entirely covered by the σ-slots of the interferers.
+type Req2Witness struct {
+	X, Y       int
+	Interferer []int
+}
+
+func (w *Req2Witness) String() string {
+	return fmt.Sprintf("σ(%d→%d) ⊆ ∪ σ(y_i→%d) for interferers %v", w.X, w.Y, w.Y, w.Interferer)
+}
+
+// CheckRequirement2 exhaustively verifies Requirement 2 (the formulation of
+// Dukes-Colbourn-Syrotiuk [6]): for all distinct x, y and every set of
+// d <= D-1 interferers {y_1..y_d} ⊆ V_n - {x, y},
+// ∪_i σ(y_i, y) ⊉ σ(x, y). It returns a violation witness or nil.
+//
+// Coverage by a union is monotone in adding interferers, so it suffices to
+// check d = min(D-1, n-2); smaller interferer sets are implied. (With
+// d = 0 the union is empty, so σ(x, y) = ∅ is itself a violation, which
+// the d-maximal check also reports.)
+func CheckRequirement2(s *Schedule, d int) *Req2Witness {
+	validateD(s.n, d)
+	k := d - 1
+	if k > s.n-2 {
+		k = s.n - 2
+	}
+	var found *Req2Witness
+	others := make([]int, 0, s.n-2)
+	union := bitset.New(s.L())
+	for x := 0; x < s.n && found == nil; x++ {
+		for y := 0; y < s.n && found == nil; y++ {
+			if y == x {
+				continue
+			}
+			sigmaXY := s.Sigma(x, y)
+			others = others[:0]
+			for v := 0; v < s.n; v++ {
+				if v != x && v != y {
+					others = append(others, v)
+				}
+			}
+			combin.CombinationsOf(others, k, func(interf []int) bool {
+				union.Clear()
+				for _, v := range interf {
+					union.UnionWith(s.Sigma(v, y))
+				}
+				if sigmaXY.SubsetOf(union) {
+					found = &Req2Witness{X: x, Y: y, Interferer: append([]int(nil), interf...)}
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return found
+}
+
+// IsTopologyTransparent reports whether the schedule satisfies Requirement
+// 3 (equivalently, Requirement 2) for the network class N(n, D).
+func IsTopologyTransparent(s *Schedule, d int) bool {
+	return CheckRequirement3(s, d) == nil
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cff"
+	"repro/internal/stats"
+)
+
+// fromFamily converts a cover-free family into a non-sleeping schedule:
+// tran(x) = family set x.
+func fromFamily(t *testing.T, f *cff.Family) *Schedule {
+	t.Helper()
+	s, err := ScheduleFromFamily(f.L, f.Sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTDMAIsTopologyTransparent(t *testing.T) {
+	s := tdma(6)
+	for d := 1; d <= 5; d++ {
+		if w := CheckRequirement1(s, d); w != nil {
+			t.Fatalf("TDMA violates Req1 at D=%d: %v", d, w)
+		}
+		if w := CheckRequirement3(s, d); w != nil {
+			t.Fatalf("TDMA violates Req3 at D=%d: %v", d, w)
+		}
+		if w := CheckRequirement2(s, d); w != nil {
+			t.Fatalf("TDMA violates Req2 at D=%d: %v", d, w)
+		}
+		if !IsTopologyTransparent(s, d) {
+			t.Fatalf("TDMA not TT at D=%d", d)
+		}
+	}
+}
+
+func TestPolynomialScheduleIsTopologyTransparent(t *testing.T) {
+	fam, err := cff.PolynomialFor(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fromFamily(t, fam)
+	if !s.IsNonSleeping() {
+		t.Fatal("family schedule should be non-sleeping")
+	}
+	if w := CheckRequirement1(s, 2); w != nil {
+		t.Fatalf("Req1 violated: %v", w)
+	}
+	if w := CheckRequirement3(s, 2); w != nil {
+		t.Fatalf("Req3 violated: %v", w)
+	}
+	if w := CheckRequirement2(s, 2); w != nil {
+		t.Fatalf("Req2 violated: %v", w)
+	}
+}
+
+func TestSteinerScheduleIsTopologyTransparent(t *testing.T) {
+	fam, err := cff.Steiner(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fromFamily(t, fam)
+	if !IsTopologyTransparent(s, 2) {
+		t.Fatal("Steiner schedule not TT for D=2")
+	}
+	// Steiner triple systems are only 2-cover-free: at D=3 some triple is
+	// covered by three others (for orders where enough blocks exist).
+	if CheckRequirement1(s, 3) == nil {
+		t.Log("note: this Steiner instance happens to satisfy D=3 — acceptable but unusual")
+	}
+}
+
+func TestRequirementViolationDetection(t *testing.T) {
+	// Node 0 never transmits: Req1 and Req3 must fail with K = -1 and
+	// Req2 must find σ(0, y) = ∅ covered.
+	s, err := New(4, [][]int{{1}, {2}, {3}}, [][]int{{0, 2, 3}, {0, 1, 3}, {0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := CheckRequirement1(s, 2)
+	if w1 == nil || w1.X != 0 || w1.K != -1 {
+		t.Fatalf("Req1 witness = %v", w1)
+	}
+	w3 := CheckRequirement3(s, 2)
+	if w3 == nil || w3.X != 0 {
+		t.Fatalf("Req3 witness = %v", w3)
+	}
+	if w2 := CheckRequirement2(s, 2); w2 == nil || w2.X != 0 {
+		t.Fatalf("Req2 witness = %v", w2)
+	}
+}
+
+func TestReceiverAsleepViolation(t *testing.T) {
+	// ⟨T⟩ is TT (TDMA on 3 nodes) but node 2 never listens: condition (2)
+	// of Requirement 3 must fail with a K >= 0 witness naming 2.
+	s, err := New(3, [][]int{{0}, {1}, {2}}, [][]int{{1}, {0}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := CheckRequirement1(s, 2); w != nil {
+		t.Fatalf("Req1 should hold, got %v", w)
+	}
+	w := CheckRequirement3(s, 2)
+	if w == nil || w.K < 0 {
+		t.Fatalf("Req3 witness = %v, want condition-(2) violation", w)
+	}
+	if w.Y[w.K] != 2 {
+		t.Fatalf("expected sleeping receiver 2, got %d", w.Y[w.K])
+	}
+	if CheckRequirement2(s, 2) == nil {
+		t.Fatal("Req2 should also fail (Theorem 1)")
+	}
+}
+
+func TestTheorem1EquivalenceOnRandomSchedules(t *testing.T) {
+	// Theorem 1: Requirement 2 ⇔ Requirement 3, for arbitrary schedules.
+	check := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 3 + rng.Intn(4)   // 3..6
+		L := 2 + rng.Intn(6)   // 2..7
+		d := 1 + rng.Intn(n-1) // 1..n-1
+		pT := 0.15 + 0.5*rng.Float64()
+		pR := 0.3 + 0.6*rng.Float64()
+		s := randomSchedule(rng, n, L, pT, pR)
+		req2 := CheckRequirement2(s, d) == nil
+		req3 := CheckRequirement3(s, d) == nil
+		return req2 == req3
+	}
+	cfg := &quick.Config{MaxCount: 400}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequirement3ImpliesRequirement1(t *testing.T) {
+	// Condition (2) implies condition (1): any schedule passing Req3 must
+	// pass Req1.
+	check := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 3 + rng.Intn(4)
+		L := 2 + rng.Intn(6)
+		d := 1 + rng.Intn(n-1)
+		s := randomSchedule(rng, n, L, 0.3, 0.8)
+		if CheckRequirement3(s, d) != nil {
+			return true // vacuous
+		}
+		return CheckRequirement1(s, d) == nil
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTTEquivalentToPositiveMinThroughput(t *testing.T) {
+	// §5: a schedule is TT iff Thr^min > 0.
+	check := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 3 + rng.Intn(3)
+		L := 2 + rng.Intn(5)
+		d := 1 + rng.Intn(n-1)
+		s := randomSchedule(rng, n, L, 0.3, 0.8)
+		tt := IsTopologyTransparent(s, d)
+		pos := MinThroughput(s, d).Sign() > 0
+		return tt == pos
+	}
+	cfg := &quick.Config{MaxCount: 250}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckersPanicOnBadD(t *testing.T) {
+	s := tdma(4)
+	for _, d := range []int{0, 4, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("D=%d accepted", d)
+				}
+			}()
+			CheckRequirement3(s, d)
+		}()
+	}
+}
+
+func TestWitnessStrings(t *testing.T) {
+	w := &Witness{X: 1, Y: []int{2, 3}, K: -1}
+	if w.String() == "" {
+		t.Fatal("empty witness string")
+	}
+	w2 := &Witness{X: 1, Y: []int{2, 3}, K: 1}
+	if w2.String() == "" {
+		t.Fatal("empty witness string")
+	}
+	r := &Req2Witness{X: 0, Y: 1, Interferer: []int{2}}
+	if r.String() == "" {
+		t.Fatal("empty req2 witness string")
+	}
+}

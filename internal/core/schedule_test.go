@@ -1,0 +1,236 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/stats"
+)
+
+// tdma returns the round-robin TDMA schedule over n nodes: L = n slots,
+// T[i] = {i}, R[i] = V - {i}. It is topology-transparent for every
+// D <= n-1.
+func tdma(n int) *Schedule {
+	t := make([][]int, n)
+	for i := range t {
+		t[i] = []int{i}
+	}
+	s, err := NonSleeping(n, t)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// randomSchedule builds a random (possibly sleeping, possibly useless)
+// schedule: each node transmits with probability pT and otherwise receives
+// with probability pR in each slot.
+func randomSchedule(rng *stats.RNG, n, L int, pT, pR float64) *Schedule {
+	t := make([]*bitset.Set, L)
+	r := make([]*bitset.Set, L)
+	for i := 0; i < L; i++ {
+		t[i] = bitset.New(n)
+		r[i] = bitset.New(n)
+		for x := 0; x < n; x++ {
+			if rng.Bool(pT) {
+				t[i].Add(x)
+			} else if rng.Bool(pR) {
+				r[i].Add(x)
+			}
+		}
+	}
+	s, err := FromSets(n, t, r)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(4, [][]int{{0}}, [][]int{{1}, {2}}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := New(4, [][]int{{4}}, [][]int{{1}}); err == nil {
+		t.Fatal("out-of-range transmitter accepted")
+	}
+	if _, err := New(4, [][]int{{0}}, [][]int{{-1}}); err == nil {
+		t.Fatal("negative receiver accepted")
+	}
+	if _, err := New(4, [][]int{{0, 1}}, [][]int{{1, 2}}); err == nil {
+		t.Fatal("transmit+receive overlap accepted")
+	}
+	if _, err := New(0, [][]int{{}}, [][]int{{}}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := FromSets(4, nil, nil); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+	s, err := New(4, [][]int{{0}, {1, 2}}, [][]int{{1}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 4 || s.L() != 2 {
+		t.Fatalf("N=%d L=%d", s.N(), s.L())
+	}
+}
+
+func TestNonSleepingComplement(t *testing.T) {
+	s := tdma(5)
+	if !s.IsNonSleeping() {
+		t.Fatal("tdma should be non-sleeping")
+	}
+	for i := 0; i < 5; i++ {
+		if s.T(i).Count() != 1 || !s.T(i).Contains(i) {
+			t.Fatalf("slot %d T = %v", i, s.T(i))
+		}
+		if s.R(i).Count() != 4 || s.R(i).Contains(i) {
+			t.Fatalf("slot %d R = %v", i, s.R(i))
+		}
+	}
+}
+
+func TestTranRecvViews(t *testing.T) {
+	s, err := New(4, [][]int{{0, 1}, {2}, {0}}, [][]int{{2, 3}, {0, 3}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Tran(0).Elements(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("tran(0) = %v", got)
+	}
+	if got := s.Recv(3).Elements(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("recv(3) = %v", got)
+	}
+	if !s.Tran(3).Empty() {
+		t.Fatalf("tran(3) = %v", s.Tran(3))
+	}
+}
+
+func TestFreeSlots(t *testing.T) {
+	s := tdma(5)
+	fs := s.FreeSlots(0, []int{1, 2})
+	if got := fs.Elements(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("freeSlots = %v", got)
+	}
+	// A node that transmits in the same slot removes it.
+	s2, err := New(3, [][]int{{0, 1}}, [][]int{{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.FreeSlots(0, []int{1}).Empty() {
+		t.Fatal("slot shared with y should not be free")
+	}
+}
+
+func TestFreeSlotsPanicsOnSelf(t *testing.T) {
+	s := tdma(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FreeSlots with x in Y should panic")
+		}
+	}()
+	s.FreeSlots(1, []int{1})
+}
+
+func TestSigmaAndTSlots(t *testing.T) {
+	// Slot 0: 0 transmits, 1 receives. Slot 1: 2 transmits, 1 receives.
+	// Slot 2: 0 transmits, nobody receives.
+	s, err := New(3, [][]int{{0}, {2}, {0}}, [][]int{{1}, {1}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Sigma(0, 1).Elements(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("σ(0,1) = %v", got)
+	}
+	if !s.Sigma(1, 0).Empty() {
+		t.Fatal("σ(1,0) should be empty")
+	}
+	// 𝒯(0, 1, {2}): slot 0 free of 2's transmissions and 1 receiving.
+	if got := s.TSlots(0, 1, []int{2}).Elements(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("𝒯 = %v", got)
+	}
+	// With neighbour 2 absent the answer is identical here.
+	if got := s.TSlots(0, 1, nil).Elements(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("𝒯 = %v", got)
+	}
+}
+
+func TestRoleOf(t *testing.T) {
+	s, err := New(3, [][]int{{0}, {1}}, [][]int{{1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RoleOf(0, 0) != Transmit || s.RoleOf(1, 0) != Receive || s.RoleOf(2, 0) != Sleep {
+		t.Fatal("slot 0 roles wrong")
+	}
+	// Absolute slot numbers wrap around the frame.
+	if s.RoleOf(1, 3) != Transmit {
+		t.Fatal("RoleOf should wrap modulo L")
+	}
+	if Transmit.String() != "transmit" || Sleep.String() != "sleep" || Receive.String() != "receive" {
+		t.Fatal("Role strings wrong")
+	}
+}
+
+func TestAlphaScheduleAndCounts(t *testing.T) {
+	s, err := New(5, [][]int{{0, 1}, {2}}, [][]int{{2, 3}, {3, 4, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsAlphaSchedule(2, 3) {
+		t.Fatal("should satisfy (2,3)")
+	}
+	if s.IsAlphaSchedule(1, 3) {
+		t.Fatal("should violate αT = 1")
+	}
+	if s.IsAlphaSchedule(2, 2) {
+		t.Fatal("should violate αR = 2")
+	}
+	if s.MinTransmitters() != 1 || s.MaxTransmitters() != 2 || s.MaxReceivers() != 3 {
+		t.Fatalf("counts: %d %d %d", s.MinTransmitters(), s.MaxTransmitters(), s.MaxReceivers())
+	}
+}
+
+func TestActiveFractionAndDutyCycle(t *testing.T) {
+	s := tdma(4)
+	if got := s.ActiveFraction(); got != 1 {
+		t.Fatalf("non-sleeping ActiveFraction = %v", got)
+	}
+	for x := 0; x < 4; x++ {
+		if got := s.DutyCycle(x); got != 1 {
+			t.Fatalf("DutyCycle(%d) = %v", x, got)
+		}
+	}
+	// Half the nodes sleep in every slot here.
+	s2, err := New(4, [][]int{{0}, {1}}, [][]int{{1}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.ActiveFraction(); got != 0.5 {
+		t.Fatalf("ActiveFraction = %v", got)
+	}
+	if got := s2.DutyCycle(3); got != 0 {
+		t.Fatalf("DutyCycle(3) = %v", got)
+	}
+}
+
+func TestCloneIsDeepAndEqualBehaviour(t *testing.T) {
+	s := tdma(4)
+	c := s.Clone()
+	if c.N() != s.N() || c.L() != s.L() {
+		t.Fatal("Clone changed shape")
+	}
+	for i := 0; i < s.L(); i++ {
+		if !c.T(i).Equal(s.T(i)) || !c.R(i).Equal(s.R(i)) {
+			t.Fatal("Clone changed content")
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s, _ := New(3, [][]int{{0}}, [][]int{{1, 2}})
+	out := s.String()
+	if !strings.Contains(out, "n=3") || !strings.Contains(out, "slot 0") {
+		t.Fatalf("String = %q", out)
+	}
+}

@@ -1,0 +1,437 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cff"
+	"repro/internal/combin"
+	"repro/internal/stats"
+)
+
+func TestTheorem2ClosedFormMatchesBruteForce(t *testing.T) {
+	// The central identity of §5: the closed form of Theorem 2 equals the
+	// Definition 2 brute force for arbitrary schedules.
+	check := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 3 + rng.Intn(4) // 3..6
+		L := 1 + rng.Intn(6)
+		d := 1 + rng.Intn(n-1)
+		s := randomSchedule(rng, n, L, 0.3, 0.7)
+		return AvgThroughput(s, d).Cmp(AvgThroughputBruteForce(s, d)) == 0
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheorem2OnTDMA(t *testing.T) {
+	// TDMA over n nodes: every slot has |T| = 1, |R| = n-1, and L = n.
+	// Theorem 2 gives Thr = n·(n-1)·C(n-2, D-1) / (n(n-1)C(n-2, D-1)·n)
+	// = 1/n: each link delivers exactly once per frame.
+	for n := 3; n <= 8; n++ {
+		for d := 1; d <= n-1; d++ {
+			s := tdma(n)
+			want := big.NewRat(1, int64(n))
+			if got := AvgThroughput(s, d); got.Cmp(want) != 0 {
+				t.Fatalf("TDMA n=%d D=%d: Thr = %s, want %s", n, d, got, want)
+			}
+			// TDMA guarantees exactly one success per frame per (x, y, S):
+			// Thr^min = 1/n.
+			wantMin := big.NewRat(1, int64(n))
+			if got := MinThroughput(s, d); got.Cmp(wantMin) != 0 {
+				t.Fatalf("TDMA n=%d D=%d: Thr^min = %s, want %s", n, d, got, wantMin)
+			}
+		}
+	}
+}
+
+func TestMinThroughputZeroForNonTT(t *testing.T) {
+	// Node 0 never transmits → Thr^min = 0, but Thr^ave stays positive.
+	s, err := New(4, [][]int{{1}, {2}}, [][]int{{0, 2, 3}, {0, 1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MinThroughput(s, 2); got.Sign() != 0 {
+		t.Fatalf("Thr^min = %s, want 0", got)
+	}
+	// Average throughput is still well-defined and positive.
+	if got := AvgThroughput(s, 2); got.Sign() <= 0 {
+		t.Fatalf("Thr^ave = %s, want > 0", got)
+	}
+}
+
+func TestGProperties(t *testing.T) {
+	// Properties (1) and (2) of g_{n,D} from §5.
+	for _, nd := range [][2]int{{6, 2}, {10, 3}, {15, 2}, {20, 4}, {30, 5}, {9, 8}} {
+		n, d := nd[0], nd[1]
+		bound := LooseGeneralBound(n, d)
+		// Property (1): g(x) <= nD^D/((n-D)(D+1)^(D+1)) for x in [0, n-1].
+		for x := 0; x <= n-1; x++ {
+			if G(n, d, x).Cmp(bound) > 0 {
+				t.Fatalf("n=%d D=%d: g(%d) = %s exceeds loose bound %s", n, d, x, G(n, d, x), bound)
+			}
+		}
+		// Property (2): the max over [0, n-1] is attained at floor or ceil
+		// of (n-D)/(D+1).
+		lo := (n - d) / (d + 1)
+		hi := combin.CeilDiv(n-d, d+1)
+		best := G(n, d, lo)
+		if g := G(n, d, hi); g.Cmp(best) > 0 {
+			best = g
+		}
+		for x := 0; x <= n-1; x++ {
+			if G(n, d, x).Cmp(best) > 0 {
+				t.Fatalf("n=%d D=%d: g(%d) beats both floor/ceil candidates", n, d, x)
+			}
+		}
+	}
+}
+
+func TestOptimalTransmittersMaximizesG(t *testing.T) {
+	for _, nd := range [][2]int{{5, 2}, {8, 2}, {10, 3}, {12, 4}, {20, 2}, {25, 6}} {
+		n, d := nd[0], nd[1]
+		a := OptimalTransmitters(n, d)
+		ga := G(n, d, a)
+		for x := 1; x <= n-1; x++ {
+			if G(n, d, x).Cmp(ga) > 0 {
+				t.Fatalf("n=%d D=%d: αT★=%d but g(%d) larger", n, d, a, x)
+			}
+		}
+	}
+}
+
+func TestTheorem3BoundHoldsForRandomSchedules(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 3 + rng.Intn(5)
+		L := 1 + rng.Intn(6)
+		d := 1 + rng.Intn(n-1)
+		s := randomSchedule(rng, n, L, 0.3, 0.7)
+		thr := AvgThroughput(s, d)
+		star := GeneralThroughputBound(n, d)
+		loose := LooseGeneralBound(n, d)
+		return thr.Cmp(star) <= 0 && star.Cmp(loose) <= 0
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheorem3EqualityCondition(t *testing.T) {
+	// A non-sleeping schedule with |T[i]| = αT★ in every slot attains Thr★.
+	n, d := 9, 2
+	a := OptimalTransmitters(n, d) // (9-2)/3 ≈ 2.33 → 2 or 3
+	var tSlots [][]int
+	// Cyclic slots with exactly a transmitters.
+	for i := 0; i < n; i++ {
+		slot := make([]int, a)
+		for j := 0; j < a; j++ {
+			slot[j] = (i + j) % n
+		}
+		tSlots = append(tSlots, slot)
+	}
+	s, err := NonSleeping(n, tSlots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := AvgThroughput(s, d), GeneralThroughputBound(n, d); got.Cmp(want) != 0 {
+		t.Fatalf("equality schedule Thr = %s, want Thr★ = %s", got, want)
+	}
+	// Conversely: deviate one slot's transmitter count and equality breaks.
+	tSlots[0] = append(tSlots[0], (tSlots[0][a-1]+1)%n)
+	s2, err := NonSleeping(n, tSlots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := AvgThroughput(s2, d), GeneralThroughputBound(n, d); got.Cmp(want) >= 0 {
+		t.Fatalf("perturbed schedule should fall below Thr★: %s vs %s", got, want)
+	}
+}
+
+func TestTheorem4BoundHoldsForAlphaSchedules(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 4 + rng.Intn(4)
+		L := 1 + rng.Intn(5)
+		d := 1 + rng.Intn(n-1)
+		s := randomSchedule(rng, n, L, 0.3, 0.5)
+		alphaT := s.MaxTransmitters()
+		alphaR := s.MaxReceivers()
+		if alphaT == 0 || alphaR == 0 {
+			return true // degenerate: no transmitters or receivers at all
+		}
+		thr := AvgThroughput(s, d)
+		bound := CappedThroughputBound(n, d, alphaT, alphaR)
+		loose := LooseCappedBound(n, d, alphaR)
+		return thr.Cmp(bound) <= 0 && bound.Cmp(loose) <= 0
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheorem4EqualityCondition(t *testing.T) {
+	// |R[i]| = αR and |T[i]| = αT★ in every slot attains Thr★_{αR,αT}.
+	n, d := 10, 2
+	alphaT, alphaR := 3, 4
+	aStar := OptimalTransmittersCapped(n, d, alphaT)
+	var tSlots, rSlots [][]int
+	for i := 0; i < n; i++ {
+		ts := make([]int, aStar)
+		for j := range ts {
+			ts[j] = (i + j) % n
+		}
+		rs := make([]int, alphaR)
+		for j := range rs {
+			rs[j] = (i + aStar + j) % n
+		}
+		tSlots = append(tSlots, ts)
+		rSlots = append(rSlots, rs)
+	}
+	s, err := New(n, tSlots, rSlots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsAlphaSchedule(alphaT, alphaR) {
+		t.Fatal("not an (αT, αR)-schedule")
+	}
+	got := AvgThroughput(s, d)
+	want := CappedThroughputBound(n, d, alphaT, alphaR)
+	if got.Cmp(want) != 0 {
+		t.Fatalf("Thr = %s, want Thr★ = %s", got, want)
+	}
+}
+
+func TestOptimalTransmittersCappedRespectsCap(t *testing.T) {
+	for _, tc := range []struct{ n, d, alphaT, want int }{
+		{10, 2, 1, 1},   // cap binds
+		{10, 2, 100, 4}, // (10-2)/2 = 4 unconstrained
+		{10, 3, 2, 2},
+		{9, 2, 4, 4}, // (9-2)/2 = 3.5; 4·C(4,1)=16 beats 3·C(5,1)=15
+	} {
+		got := OptimalTransmittersCapped(tc.n, tc.d, tc.alphaT)
+		if got != tc.want {
+			t.Fatalf("OptimalTransmittersCapped(%d,%d,%d) = %d, want %d",
+				tc.n, tc.d, tc.alphaT, got, tc.want)
+		}
+		if got > tc.alphaT {
+			t.Fatal("capped optimum exceeds cap")
+		}
+	}
+}
+
+func TestRatioRAtOptimumIsOne(t *testing.T) {
+	for _, tc := range [][3]int{{10, 2, 3}, {12, 3, 100}, {9, 2, 2}, {20, 4, 5}} {
+		n, d, alphaT := tc[0], tc[1], tc[2]
+		aStar := OptimalTransmittersCapped(n, d, alphaT)
+		if got := RatioR(n, d, alphaT, aStar); got.Cmp(big.NewRat(1, 1)) != 0 {
+			t.Fatalf("r(αT★) = %s, want 1", got)
+		}
+		// r is below 1 for smaller transmitter counts (monotone up to peak).
+		for x := 1; x < aStar; x++ {
+			if RatioR(n, d, alphaT, x).Cmp(big.NewRat(1, 1)) >= 0 {
+				t.Fatalf("r(%d) >= 1 below the optimum", x)
+			}
+		}
+	}
+}
+
+func TestOptimalityRatioIdentity(t *testing.T) {
+	// §7: Thr/Thr★ == (1/L)·Σ r(|T[i]|) when |R[i]| = αR in every slot.
+	n, d := 8, 2
+	alphaT, alphaR := 3, 3
+	var tSlots, rSlots [][]int
+	sizes := []int{1, 2, 3, 3, 2}
+	for i, sz := range sizes {
+		ts := make([]int, sz)
+		for j := range ts {
+			ts[j] = (i + j) % n
+		}
+		rs := make([]int, alphaR)
+		for j := range rs {
+			rs[j] = (i + sz + j) % n
+		}
+		tSlots = append(tSlots, ts)
+		rSlots = append(rSlots, rs)
+	}
+	s, err := New(n, tSlots, rSlots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs := OptimalityRatio(s, d, alphaT, alphaR)
+	rhs := new(big.Rat)
+	for _, sz := range sizes {
+		rhs.Add(rhs, RatioR(n, d, alphaT, sz))
+	}
+	rhs.Quo(rhs, big.NewRat(int64(len(sizes)), 1))
+	if lhs.Cmp(rhs) != 0 {
+		t.Fatalf("optimality ratio %s != (1/L)Σr = %s", lhs, rhs)
+	}
+}
+
+func TestNonSleepingBeatsSleepingOnAverage(t *testing.T) {
+	// Theorem 2 corollary: with the same T, shrinking R can only lower the
+	// average worst-case throughput.
+	check := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 4 + rng.Intn(4)
+		L := 1 + rng.Intn(5)
+		d := 1 + rng.Intn(n-1)
+		full := randomSchedule(rng, n, L, 0.4, 1.0) // everyone not Tx listens
+		// Build a sleeping variant by dropping some receivers.
+		tSets := make([][]int, L)
+		rSets := make([][]int, L)
+		for i := 0; i < L; i++ {
+			tSets[i] = full.T(i).Elements()
+			for _, x := range full.R(i).Elements() {
+				if rng.Bool(0.7) {
+					rSets[i] = append(rSets[i], x)
+				}
+			}
+		}
+		sleepy, err := New(n, tSets, rSets)
+		if err != nil {
+			return false
+		}
+		return AvgThroughput(sleepy, d).Cmp(AvgThroughput(full, d)) <= 0
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure1Phenomenon(t *testing.T) {
+	// §5.2 / Figure 1: on a *specific* topology, a sleeping schedule can
+	// preserve the non-sleeping schedule's delivered throughput. We verify
+	// the schedule-side part here: taking TDMA on 4 nodes and waking each
+	// receiver only in the slots of its actual neighbours (ring topology
+	// 0-1-2-3-0) keeps 𝒯(x, y, S) unchanged for every edge of that ring,
+	// while the average worst-case throughput over all of N(n, D) drops.
+	n := 4
+	full := tdma(n)
+	// Ring neighbours.
+	nbr := map[int][]int{0: {1, 3}, 1: {0, 2}, 2: {1, 3}, 3: {0, 2}}
+	tSets := make([][]int, n)
+	rSets := make([][]int, n)
+	for i := 0; i < n; i++ {
+		tSets[i] = []int{i}
+		rSets[i] = append([]int(nil), nbr[i]...) // only i's neighbours listen
+	}
+	sleepy, err := New(n, tSets, rSets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sleepy.IsNonSleeping() {
+		t.Fatal("sleepy schedule should sleep someone")
+	}
+	// Per-edge guaranteed slots on the ring are identical.
+	for x, ys := range nbr {
+		for _, y := range ys {
+			var others []int
+			for _, z := range nbr[y] {
+				if z != x {
+					others = append(others, z)
+				}
+			}
+			a := full.TSlots(x, y, others)
+			b := sleepy.TSlots(x, y, others)
+			if !a.Equal(b) {
+				t.Fatalf("edge %d→%d: slots %v vs %v", x, y, a, b)
+			}
+		}
+	}
+	// Class-wide average drops strictly (Theorem 2 with smaller |R[i]|).
+	if AvgThroughput(sleepy, 2).Cmp(AvgThroughput(full, 2)) >= 0 {
+		t.Fatal("class-wide average should drop when receivers sleep")
+	}
+}
+
+func TestConstructedFrameLengthAndCap(t *testing.T) {
+	fam, err := cff.PolynomialFor(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := mustFromFamily(t, fam)
+	aStar := OptimalTransmittersCapped(ns.N(), 2, 2)
+	got := ConstructedFrameLength(ns, aStar, 3)
+	cap := FrameLengthCap(ns, aStar, 3)
+	if got > cap {
+		t.Fatalf("frame length %d exceeds cap %d", got, cap)
+	}
+	// Direct sum check.
+	want := 0
+	for i := 0; i < ns.L(); i++ {
+		ti := ns.T(i).Count()
+		want += combin.CeilDiv(ti, aStar) * combin.CeilDiv(ns.N()-ti, 3)
+	}
+	if got != want {
+		t.Fatalf("frame length %d != direct sum %d", got, want)
+	}
+}
+
+func mustFromFamily(t *testing.T, f *cff.Family) *Schedule {
+	t.Helper()
+	s, err := ScheduleFromFamily(f.L, f.Sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMinFrameLowerBound(t *testing.T) {
+	cases := []struct{ n, alphaT, alphaR, want int }{
+		{6, 1, 2, 18},  // each node needs ⌈5/2⌉ = 3 slots → 18
+		{6, 1, 3, 12},  //
+		{6, 1, 5, 6},   // TDMA territory
+		{8, 2, 4, 8},   // ⌈8·2/2⌉
+		{10, 2, 4, 15}, // ⌈10·3/2⌉
+		{25, 3, 5, 42}, // ⌈25·5/3⌉
+	}
+	for _, c := range cases {
+		if got := MinFrameLowerBound(c.n, c.alphaT, c.alphaR); got != c.want {
+			t.Fatalf("MinFrameLowerBound(%d,%d,%d) = %d, want %d", c.n, c.alphaT, c.alphaR, got, c.want)
+		}
+	}
+	// Every TT schedule this library builds must respect the bound.
+	fam, err := cff.PolynomialFor(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := mustFromFamily(t, fam)
+	out, err := Construct(ns, ConstructOptions{AlphaT: 2, AlphaR: 3, D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.L() < MinFrameLowerBound(9, out.MaxTransmitters(), out.MaxReceivers()) {
+		t.Fatal("constructed schedule beats the counting bound — bound derivation broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad args accepted")
+		}
+	}()
+	MinFrameLowerBound(1, 1, 1)
+}
+
+func TestAnalysisPanicsOnBadInputs(t *testing.T) {
+	s := tdma(4)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("MinThroughput D=0", func() { MinThroughput(s, 0) })
+	mustPanic("AvgThroughput D=n", func() { AvgThroughput(s, 4) })
+	mustPanic("G x<0", func() { G(4, 2, -1) })
+	mustPanic("CappedThroughputBound αR=0", func() { CappedThroughputBound(6, 2, 2, 0) })
+	mustPanic("OptimalTransmittersCapped αT=0", func() { OptimalTransmittersCapped(6, 2, 0) })
+}

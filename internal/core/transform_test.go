@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cff"
+	"repro/internal/stats"
+)
+
+func polySchedule(t *testing.T, n, d int) *Schedule {
+	t.Helper()
+	fam, err := cff.PolynomialFor(n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mustFromFamily(t, fam)
+}
+
+func TestPermuteNodesPreservesEverything(t *testing.T) {
+	s := polySchedule(t, 9, 2)
+	rng := stats.NewRNG(5)
+	perm := rng.Perm(9)
+	p, err := PermuteNodes(s, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.L() != s.L() || p.N() != s.N() {
+		t.Fatal("shape changed")
+	}
+	if !IsTopologyTransparent(p, 2) {
+		t.Fatal("permutation broke topology transparency")
+	}
+	if AvgThroughput(p, 2).Cmp(AvgThroughput(s, 2)) != 0 {
+		t.Fatal("permutation changed average throughput")
+	}
+	if MinThroughput(p, 2).Cmp(MinThroughput(s, 2)) != 0 {
+		t.Fatal("permutation changed minimum throughput")
+	}
+	// Per-slot counts preserved.
+	for i := 0; i < s.L(); i++ {
+		if p.T(i).Count() != s.T(i).Count() || p.R(i).Count() != s.R(i).Count() {
+			t.Fatal("permutation changed slot counts")
+		}
+	}
+	// Node x's slots become node perm[x]'s slots.
+	for x := 0; x < 9; x++ {
+		if !p.Tran(perm[x]).Equal(s.Tran(x)) {
+			t.Fatalf("tran sets not relabeled for node %d", x)
+		}
+	}
+}
+
+func TestPermuteNodesRejectsBadPerms(t *testing.T) {
+	s := tdma(4)
+	for _, perm := range [][]int{
+		{0, 1, 2},     // short
+		{0, 1, 2, 2},  // duplicate
+		{0, 1, 2, 4},  // out of range
+		{0, 1, 2, -1}, // negative
+	} {
+		if _, err := PermuteNodes(s, perm); err == nil {
+			t.Fatalf("perm %v accepted", perm)
+		}
+	}
+}
+
+func TestRotateSlots(t *testing.T) {
+	s := tdma(5)
+	r := RotateSlots(s, 2)
+	// Slot 0 of the rotation is slot 2 of the original.
+	if !r.T(0).Equal(s.T(2)) {
+		t.Fatal("rotation misaligned")
+	}
+	if !r.T(4).Equal(s.T(1)) {
+		t.Fatal("rotation wrap misaligned")
+	}
+	if !IsTopologyTransparent(r, 3) {
+		t.Fatal("rotation broke TT")
+	}
+	if AvgThroughput(r, 2).Cmp(AvgThroughput(s, 2)) != 0 {
+		t.Fatal("rotation changed throughput")
+	}
+	// Negative and overflowing rotations normalize.
+	if !RotateSlots(s, -3).T(0).Equal(s.T(2)) {
+		t.Fatal("negative rotation wrong")
+	}
+	if !RotateSlots(s, 7).T(0).Equal(s.T(2)) {
+		t.Fatal("overflow rotation wrong")
+	}
+}
+
+func TestConcatPreservesTT(t *testing.T) {
+	a := tdma(6)
+	rng := stats.NewRNG(3)
+	b := randomSchedule(rng, 6, 4, 0.3, 0.5) // arbitrary, possibly useless
+	c, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.L() != a.L()+b.L() {
+		t.Fatalf("L = %d", c.L())
+	}
+	if !IsTopologyTransparent(c, 5) {
+		t.Fatal("concat with a TT half should stay TT")
+	}
+	// Throughput is the length-weighted mean.
+	want := AvgThroughput(a, 2)
+	want.Mul(want, combinRat(a.L()))
+	wb := AvgThroughput(b, 2)
+	wb.Mul(wb, combinRat(b.L()))
+	want.Add(want, wb)
+	want.Quo(want, combinRat(a.L()+b.L()))
+	if got := AvgThroughput(c, 2); got.Cmp(want) != 0 {
+		t.Fatalf("concat throughput %s, want %s", got, want)
+	}
+	// Universe mismatch rejected.
+	if _, err := Concat(a, tdma(5)); err == nil {
+		t.Fatal("universe mismatch accepted")
+	}
+}
+
+func combinRat(x int) *big.Rat {
+	return big.NewRat(int64(x), 1)
+}
+
+func TestRepeatInvariance(t *testing.T) {
+	s := polySchedule(t, 9, 2)
+	r, err := Repeat(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.L() != 3*s.L() {
+		t.Fatalf("L = %d", r.L())
+	}
+	if AvgThroughput(r, 2).Cmp(AvgThroughput(s, 2)) != 0 {
+		t.Fatal("repeat changed average throughput")
+	}
+	if MinThroughput(r, 2).Cmp(MinThroughput(s, 2)) != 0 {
+		t.Fatal("repeat changed minimum throughput")
+	}
+	if _, err := Repeat(s, 0); err == nil {
+		t.Fatal("Repeat(0) accepted")
+	}
+}
+
+func TestRestrictPreservesTT(t *testing.T) {
+	s := polySchedule(t, 16, 3)
+	r, err := Restrict(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != 10 || r.L() != s.L() {
+		t.Fatal("shape wrong")
+	}
+	if !IsTopologyTransparent(r, 3) {
+		t.Fatal("restriction broke TT")
+	}
+	// Surviving nodes keep their slot sets.
+	for x := 0; x < 10; x++ {
+		if !r.Tran(x).Equal(s.Tran(x)) {
+			t.Fatalf("tran(%d) changed", x)
+		}
+	}
+	if _, err := Restrict(s, 0); err == nil {
+		t.Fatal("Restrict(0) accepted")
+	}
+	if _, err := Restrict(s, 17); err == nil {
+		t.Fatal("Restrict beyond n accepted")
+	}
+}
+
+func TestQuickPermutationTTInvariance(t *testing.T) {
+	// TT status (either way) is invariant under relabeling.
+	check := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 3 + rng.Intn(4)
+		L := 2 + rng.Intn(5)
+		d := 1 + rng.Intn(n-1)
+		s := randomSchedule(rng, n, L, 0.3, 0.7)
+		p, err := PermuteNodes(s, rng.Perm(n))
+		if err != nil {
+			return false
+		}
+		return IsTopologyTransparent(s, d) == IsTopologyTransparent(p, d)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRotationAnalysisInvariance(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 3 + rng.Intn(4)
+		L := 2 + rng.Intn(5)
+		d := 1 + rng.Intn(n-1)
+		s := randomSchedule(rng, n, L, 0.3, 0.7)
+		r := RotateSlots(s, rng.Intn(3*L))
+		return AvgThroughput(s, d).Cmp(AvgThroughput(r, d)) == 0 &&
+			MinThroughput(s, d).Cmp(MinThroughput(r, d)) == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIDsOrdered(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 17 {
+		t.Fatalf("got %d experiments, want 17: %v", len(ids), ids)
+	}
+	if ids[0] != "E1" || ids[1] != "E2" || ids[9] != "E10" || ids[16] != "E17" {
+		t.Fatalf("bad ordering: %v", ids)
+	}
+}
+
+func TestUnknownID(t *testing.T) {
+	if _, err := Run("E99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestAllExperimentsPass is the repository's master reproduction check:
+// every experiment must regenerate its table and verify its paper claim.
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are not short")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Table == nil || res.Table.NumRows() == 0 {
+				t.Fatal("experiment produced no table rows")
+			}
+			if !res.Pass {
+				t.Fatalf("claims failed:\n%s", strings.Join(res.Notes, "\n"))
+			}
+			var b strings.Builder
+			if err := res.Table.WriteText(&b); err != nil {
+				t.Fatal(err)
+			}
+			if b.Len() == 0 {
+				t.Fatal("empty table rendering")
+			}
+			t.Logf("%s: %s\n%s%s", res.ID, res.Title, b.String(), strings.Join(res.Notes, "\n"))
+		})
+	}
+}

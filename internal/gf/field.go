@@ -1,0 +1,302 @@
+package gf
+
+import "fmt"
+
+// Field is a finite field GF(p^m). Elements are integers in [0, Q()); the
+// base-p digits of an element are the coefficients (lowest degree first) of
+// its residue polynomial modulo the field's irreducible polynomial.
+//
+// A Field is immutable and safe for concurrent use.
+type Field struct {
+	p, m, q int
+	// irred holds the coefficients of the monic irreducible polynomial of
+	// degree m used for reduction, lowest degree first, length m+1, with
+	// irred[m] == 1. Unused (nil) when m == 1.
+	irred []int
+}
+
+// New returns the field GF(p^m). p must be prime and m >= 1. For m > 1 a
+// monic irreducible polynomial of degree m over GF(p) is found by exhaustive
+// search (field sizes used in schedule constructions are small).
+func New(p, m int) (*Field, error) {
+	if !IsPrime(p) {
+		return nil, fmt.Errorf("gf: %d is not prime", p)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("gf: extension degree %d < 1", m)
+	}
+	q := 1
+	for i := 0; i < m; i++ {
+		if q > (1<<31)/p {
+			return nil, fmt.Errorf("gf: field GF(%d^%d) too large", p, m)
+		}
+		q *= p
+	}
+	f := &Field{p: p, m: m, q: q}
+	if m > 1 {
+		ir, err := findIrreducible(p, m)
+		if err != nil {
+			return nil, err
+		}
+		f.irred = ir
+	}
+	return f, nil
+}
+
+// NewOrder returns GF(q) for a prime power q.
+func NewOrder(q int) (*Field, error) {
+	p, m, ok := PrimePower(q)
+	if !ok {
+		return nil, fmt.Errorf("gf: %d is not a prime power", q)
+	}
+	return New(p, m)
+}
+
+// P returns the field characteristic.
+func (f *Field) P() int { return f.p }
+
+// M returns the extension degree.
+func (f *Field) M() int { return f.m }
+
+// Q returns the field order p^m.
+func (f *Field) Q() int { return f.q }
+
+// Irreducible returns a copy of the reduction polynomial's coefficients
+// (lowest degree first), or nil for prime fields.
+func (f *Field) Irreducible() []int {
+	if f.irred == nil {
+		return nil
+	}
+	return append([]int(nil), f.irred...)
+}
+
+func (f *Field) check(a int) {
+	if a < 0 || a >= f.q {
+		panic(fmt.Sprintf("gf: element %d out of range [0,%d)", a, f.q))
+	}
+}
+
+// digits expands element a into its m base-p coefficient digits.
+func (f *Field) digits(a int, out []int) {
+	for i := 0; i < f.m; i++ {
+		out[i] = a % f.p
+		a /= f.p
+	}
+}
+
+// undigits packs coefficient digits back into an element.
+func (f *Field) undigits(d []int) int {
+	v := 0
+	for i := f.m - 1; i >= 0; i-- {
+		v = v*f.p + d[i]
+	}
+	return v
+}
+
+// Add returns a + b.
+func (f *Field) Add(a, b int) int {
+	f.check(a)
+	f.check(b)
+	if f.m == 1 {
+		return (a + b) % f.p
+	}
+	v := 0
+	pow := 1
+	for i := 0; i < f.m; i++ {
+		da, db := a%f.p, b%f.p
+		a /= f.p
+		b /= f.p
+		v += ((da + db) % f.p) * pow
+		pow *= f.p
+	}
+	return v
+}
+
+// Neg returns -a.
+func (f *Field) Neg(a int) int {
+	f.check(a)
+	if f.m == 1 {
+		return (f.p - a) % f.p
+	}
+	v := 0
+	pow := 1
+	for i := 0; i < f.m; i++ {
+		d := a % f.p
+		a /= f.p
+		v += ((f.p - d) % f.p) * pow
+		pow *= f.p
+	}
+	return v
+}
+
+// Sub returns a - b.
+func (f *Field) Sub(a, b int) int { return f.Add(a, f.Neg(b)) }
+
+// Mul returns a * b.
+func (f *Field) Mul(a, b int) int {
+	f.check(a)
+	f.check(b)
+	if f.m == 1 {
+		return (a * b) % f.p
+	}
+	da := make([]int, f.m)
+	db := make([]int, f.m)
+	f.digits(a, da)
+	f.digits(b, db)
+	// Schoolbook product, degree <= 2m-2.
+	prod := make([]int, 2*f.m-1)
+	for i, x := range da {
+		if x == 0 {
+			continue
+		}
+		for j, y := range db {
+			prod[i+j] = (prod[i+j] + x*y) % f.p
+		}
+	}
+	f.reduce(prod)
+	return f.undigits(prod[:f.m])
+}
+
+// reduce reduces the polynomial prod (coefficients lowest-first) modulo the
+// field's irreducible polynomial, in place. len(prod) may exceed m.
+func (f *Field) reduce(prod []int) {
+	for d := len(prod) - 1; d >= f.m; d-- {
+		c := prod[d]
+		if c == 0 {
+			continue
+		}
+		prod[d] = 0
+		// x^d == x^(d-m) * x^m == x^(d-m) * (-(irred[0..m-1]))
+		for i := 0; i < f.m; i++ {
+			if f.irred[i] == 0 {
+				continue
+			}
+			k := d - f.m + i
+			prod[k] = (prod[k] + c*(f.p-f.irred[i])) % f.p
+		}
+	}
+}
+
+// Pow returns a^e for e >= 0 (a^0 == 1, including 0^0 == 1 by convention).
+func (f *Field) Pow(a, e int) int {
+	if e < 0 {
+		panic("gf: negative exponent; use Inv then Pow")
+	}
+	f.check(a)
+	result := 1 % f.q
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			result = f.Mul(result, base)
+		}
+		base = f.Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a. It panics for a == 0.
+func (f *Field) Inv(a int) int {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	// a^(q-2) by Fermat/Lagrange; fields here are tiny.
+	return f.Pow(a, f.q-2)
+}
+
+// Div returns a / b. It panics for b == 0.
+func (f *Field) Div(a, b int) int { return f.Mul(a, f.Inv(b)) }
+
+// Eval evaluates the polynomial with the given coefficients (lowest degree
+// first, each a field element) at the point x, by Horner's rule.
+func (f *Field) Eval(coeffs []int, x int) int {
+	f.check(x)
+	v := 0
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		v = f.Add(f.Mul(v, x), coeffs[i])
+	}
+	return v
+}
+
+// findIrreducible returns the lexicographically smallest monic irreducible
+// polynomial of degree m over GF(p), as coefficients lowest-first with the
+// leading 1 included (length m+1).
+func findIrreducible(p, m int) ([]int, error) {
+	// Enumerate the p^m monic candidates by their low-order coefficients.
+	total := 1
+	for i := 0; i < m; i++ {
+		total *= p
+	}
+	coeffs := make([]int, m+1)
+	coeffs[m] = 1
+	for enc := 0; enc < total; enc++ {
+		e := enc
+		for i := 0; i < m; i++ {
+			coeffs[i] = e % p
+			e /= p
+		}
+		if polyIrreducible(coeffs, p) {
+			return append([]int(nil), coeffs...), nil
+		}
+	}
+	return nil, fmt.Errorf("gf: no irreducible polynomial of degree %d over GF(%d)", m, p)
+}
+
+// polyIrreducible reports whether the monic polynomial f (lowest-first,
+// leading coefficient 1) is irreducible over GF(p), by trial division by
+// every monic polynomial of degree 1..deg(f)/2.
+func polyIrreducible(f []int, p int) bool {
+	deg := len(f) - 1
+	if deg <= 0 {
+		return false
+	}
+	if deg == 1 {
+		return true
+	}
+	if f[0] == 0 {
+		return false // divisible by x
+	}
+	for d := 1; 2*d <= deg; d++ {
+		// All monic divisor candidates of degree d.
+		count := 1
+		for i := 0; i < d; i++ {
+			count *= p
+		}
+		g := make([]int, d+1)
+		g[d] = 1
+		for enc := 0; enc < count; enc++ {
+			e := enc
+			for i := 0; i < d; i++ {
+				g[i] = e % p
+				e /= p
+			}
+			if polyDivides(g, f, p) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// polyDivides reports whether monic g divides f over GF(p).
+func polyDivides(g, f []int, p int) bool {
+	rem := append([]int(nil), f...)
+	dg := len(g) - 1
+	for d := len(rem) - 1; d >= dg; d-- {
+		c := rem[d]
+		if c == 0 {
+			continue
+		}
+		// g is monic, so the quotient coefficient is c.
+		for i := 0; i <= dg; i++ {
+			k := d - dg + i
+			rem[k] = (rem[k] + c*(p-g[i])) % p
+		}
+	}
+	for _, c := range rem[:dg] {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}

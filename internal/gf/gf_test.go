@@ -1,0 +1,316 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestIsPrime(t *testing.T) {
+	primes := map[int]bool{
+		2: true, 3: true, 5: true, 7: true, 11: true, 13: true, 97: true,
+		101: true, 7919: true,
+		0: false, 1: false, 4: false, 9: false, 15: false, 91: false,
+		100: false, 7917: false, -3: false,
+	}
+	for n, want := range primes {
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	cases := [][2]int{{0, 2}, {2, 2}, {3, 3}, {4, 5}, {90, 97}, {7908, 7919}}
+	for _, c := range cases {
+		if got := NextPrime(c[0]); got != c[1] {
+			t.Errorf("NextPrime(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}
+
+func TestPrimePower(t *testing.T) {
+	type pp struct{ p, m int }
+	cases := map[int]pp{
+		2: {2, 1}, 3: {3, 1}, 4: {2, 2}, 8: {2, 3}, 9: {3, 2}, 16: {2, 4},
+		25: {5, 2}, 27: {3, 3}, 49: {7, 2}, 121: {11, 2}, 128: {2, 7},
+	}
+	for q, want := range cases {
+		p, m, ok := PrimePower(q)
+		if !ok || p != want.p || m != want.m {
+			t.Errorf("PrimePower(%d) = (%d,%d,%v), want (%d,%d,true)", q, p, m, ok, want.p, want.m)
+		}
+	}
+	for _, q := range []int{0, 1, 6, 10, 12, 15, 24, 100} {
+		if _, _, ok := PrimePower(q); ok {
+			t.Errorf("PrimePower(%d) should not be a prime power", q)
+		}
+	}
+}
+
+func TestNextPrimePower(t *testing.T) {
+	cases := [][2]int{{0, 2}, {5, 5}, {6, 7}, {10, 11}, {26, 27}, {28, 29}, {126, 127}}
+	for _, c := range cases {
+		if got := NextPrimePower(c[0]); got != c[1] {
+			t.Errorf("NextPrimePower(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	if _, err := New(4, 1); err == nil {
+		t.Error("New(4,1) should fail: 4 not prime")
+	}
+	if _, err := New(5, 0); err == nil {
+		t.Error("New(5,0) should fail: degree 0")
+	}
+	if _, err := NewOrder(12); err == nil {
+		t.Error("NewOrder(12) should fail: not a prime power")
+	}
+}
+
+// fieldAxioms exhaustively checks the field axioms for a small field.
+func fieldAxioms(t *testing.T, f *Field) {
+	t.Helper()
+	q := f.Q()
+	// Closure + commutativity + identities + inverses.
+	for a := 0; a < q; a++ {
+		if got := f.Add(a, 0); got != a {
+			t.Fatalf("GF(%d): %d+0 = %d", q, a, got)
+		}
+		if got := f.Mul(a, 1%q); got != a {
+			t.Fatalf("GF(%d): %d*1 = %d", q, a, got)
+		}
+		if got := f.Add(a, f.Neg(a)); got != 0 {
+			t.Fatalf("GF(%d): %d + (-%d) = %d", q, a, a, got)
+		}
+		if a != 0 {
+			if got := f.Mul(a, f.Inv(a)); got != 1 {
+				t.Fatalf("GF(%d): %d * inv = %d", q, a, got)
+			}
+		}
+		for b := 0; b < q; b++ {
+			ab := f.Add(a, b)
+			if ab < 0 || ab >= q {
+				t.Fatalf("GF(%d): add not closed", q)
+			}
+			if ab != f.Add(b, a) {
+				t.Fatalf("GF(%d): add not commutative", q)
+			}
+			if f.Mul(a, b) != f.Mul(b, a) {
+				t.Fatalf("GF(%d): mul not commutative", q)
+			}
+			if f.Sub(ab, b) != a {
+				t.Fatalf("GF(%d): (%d+%d)-%d != %d", q, a, b, b, a)
+			}
+		}
+	}
+	// Associativity + distributivity on a sample (full cube for tiny q).
+	limit := q
+	if q > 16 {
+		limit = 16
+	}
+	for a := 0; a < limit; a++ {
+		for b := 0; b < limit; b++ {
+			for c := 0; c < limit; c++ {
+				if f.Add(f.Add(a, b), c) != f.Add(a, f.Add(b, c)) {
+					t.Fatalf("GF(%d): add not associative", q)
+				}
+				if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+					t.Fatalf("GF(%d): mul not associative", q)
+				}
+				if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+					t.Fatalf("GF(%d): not distributive", q)
+				}
+			}
+		}
+	}
+	// No zero divisors.
+	for a := 1; a < q; a++ {
+		for b := 1; b < q; b++ {
+			if f.Mul(a, b) == 0 {
+				t.Fatalf("GF(%d): zero divisor %d*%d", q, a, b)
+			}
+		}
+	}
+}
+
+func TestFieldAxiomsPrime(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 7, 11, 13} {
+		f, err := New(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Q() != p || f.P() != p || f.M() != 1 {
+			t.Fatalf("GF(%d) metadata wrong", p)
+		}
+		fieldAxioms(t, f)
+	}
+}
+
+func TestFieldAxiomsExtension(t *testing.T) {
+	for _, pm := range [][2]int{{2, 2}, {2, 3}, {2, 4}, {3, 2}, {5, 2}, {3, 3}} {
+		f, err := New(pm[0], pm[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		fieldAxioms(t, f)
+	}
+}
+
+func TestMultiplicativeOrder(t *testing.T) {
+	// The multiplicative group of GF(q) is cyclic of order q-1: every nonzero
+	// a satisfies a^(q-1) == 1.
+	for _, q := range []int{4, 8, 9, 16, 25, 27} {
+		f, err := NewOrder(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 1; a < q; a++ {
+			if got := f.Pow(a, q-1); got != 1 {
+				t.Fatalf("GF(%d): %d^(q-1) = %d", q, a, got)
+			}
+		}
+	}
+}
+
+func TestIrreducibleIsIrreducible(t *testing.T) {
+	f, err := New(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir := f.Irreducible()
+	if len(ir) != 5 || ir[4] != 1 {
+		t.Fatalf("irreducible poly = %v", ir)
+	}
+	// No roots in GF(2) (necessary condition; full irreducibility is what
+	// findIrreducible guarantees and the axioms above corroborate).
+	base, err := New(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 2; x++ {
+		if base.Eval(ir, x) == 0 {
+			t.Fatalf("irreducible poly has root %d", x)
+		}
+	}
+	if New2, _ := New(2, 1); New2.Irreducible() != nil {
+		t.Fatal("prime field should have nil irreducible")
+	}
+}
+
+func TestEvalHorner(t *testing.T) {
+	f, err := New(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p(x) = 3 + 2x + x^2 over GF(7)
+	coeffs := []int{3, 2, 1}
+	for x := 0; x < 7; x++ {
+		want := (3 + 2*x + x*x) % 7
+		if got := f.Eval(coeffs, x); got != want {
+			t.Fatalf("Eval at %d = %d, want %d", x, got, want)
+		}
+	}
+	// Empty polynomial is the zero function.
+	if got := f.Eval(nil, 3); got != 0 {
+		t.Fatalf("Eval(nil) = %d", got)
+	}
+}
+
+func TestQuickPolynomialAgreementBound(t *testing.T) {
+	// Two distinct polynomials of degree <= k over GF(q) agree on at most k
+	// points. This is the algebraic fact the OA schedule construction rests
+	// on, so it gets its own property test.
+	f, err := NewOrder(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := f.Q()
+	const k = 2
+	check := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		a := make([]int, k+1)
+		b := make([]int, k+1)
+		for i := range a {
+			a[i] = r.Intn(q)
+			b[i] = r.Intn(q)
+		}
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+			}
+		}
+		if same {
+			return true
+		}
+		agree := 0
+		for x := 0; x < q; x++ {
+			if f.Eval(a, x) == f.Eval(b, x) {
+				agree++
+			}
+		}
+		return agree <= k
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowEdgeCases(t *testing.T) {
+	f, _ := New(5, 1)
+	if f.Pow(0, 0) != 1 {
+		t.Fatal("0^0 should be 1 by convention")
+	}
+	if f.Pow(3, 0) != 1 {
+		t.Fatal("a^0 should be 1")
+	}
+	if f.Pow(0, 5) != 0 {
+		t.Fatal("0^5 should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative exponent should panic")
+		}
+	}()
+	f.Pow(2, -1)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	f, _ := New(3, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) should panic")
+		}
+	}()
+	f.Inv(0)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	f, _ := New(3, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add out of range should panic")
+		}
+	}()
+	f.Add(3, 0)
+}
+
+func BenchmarkMulGF9(b *testing.B) {
+	f, _ := NewOrder(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Mul(i%9, (i+5)%9)
+	}
+}
+
+func BenchmarkEvalGF49(b *testing.B) {
+	f, _ := NewOrder(49)
+	coeffs := []int{3, 17, 25, 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Eval(coeffs, i%49)
+	}
+}

@@ -1,0 +1,77 @@
+// Package gf implements arithmetic in finite (Galois) fields GF(p) and
+// GF(p^m), which underlie the orthogonal-array construction of
+// topology-transparent non-sleeping schedules (Chlamtac-Farago 1994,
+// Ju-Li 1998): node codewords are polynomials over GF(q) and frame slots are
+// (evaluation point, value) pairs.
+//
+// Elements of GF(p^m) are represented as integers in [0, p^m) whose base-p
+// digits are the coefficients of a residue polynomial modulo a fixed monic
+// irreducible polynomial of degree m. For m == 1 this degenerates to plain
+// modular arithmetic. Field sizes in this repository are small (q is on the
+// order of the degree bound times the maximum node degree), so all
+// operations compute directly; no log tables are required.
+package gf
+
+// IsPrime reports whether n is prime, by trial division. The field sizes
+// used here are tiny, so no probabilistic machinery is warranted.
+func IsPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	for d := 3; d*d <= n; d += 2 {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NextPrime returns the smallest prime >= n (and 2 for n < 2).
+func NextPrime(n int) int {
+	if n <= 2 {
+		return 2
+	}
+	for !IsPrime(n) {
+		n++
+	}
+	return n
+}
+
+// PrimePower decomposes q as p^m for prime p and m >= 1. ok is false when q
+// is not a prime power (including q < 2).
+func PrimePower(q int) (p, m int, ok bool) {
+	if q < 2 {
+		return 0, 0, false
+	}
+	for d := 2; d*d <= q; d++ {
+		if q%d == 0 {
+			// d is the smallest prime factor; q must be a power of d.
+			m := 0
+			for q > 1 {
+				if q%d != 0 {
+					return 0, 0, false
+				}
+				q /= d
+				m++
+			}
+			return d, m, true
+		}
+	}
+	return q, 1, true // q itself is prime
+}
+
+// NextPrimePower returns the smallest prime power >= n (and 2 for n < 2).
+func NextPrimePower(n int) int {
+	if n < 2 {
+		return 2
+	}
+	for {
+		if _, _, ok := PrimePower(n); ok {
+			return n
+		}
+		n++
+	}
+}

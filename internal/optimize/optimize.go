@@ -1,0 +1,267 @@
+// Package optimize searches for topology-transparent (αT, αR)-schedules
+// directly, by randomized repair against the Requirement 3 checker —
+// the ablation companion to the paper's Construct algorithm. Construct is
+// constructive and carries Theorems 6-9; direct search carries no
+// guarantees but can discover schedules at frame lengths the two-step
+// construction cannot express, quantifying how much frame length the
+// paper's approach leaves on the table for small classes.
+//
+// The min-conflicts search converges reliably for αT = 1 instances (the
+// common sensor regime: one transmitter per slot), including perfect
+// designs exactly at the core.MinFrameLowerBound counting bound. Instances
+// with αT >= 2 have a much rougher landscape and may exhaust the iteration
+// budget; SearchAlpha reports that as an error rather than guessing.
+package optimize
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Options parameterizes SearchAlpha.
+type Options struct {
+	// N and D define the network class N(n, D).
+	N, D int
+	// AlphaT and AlphaR are the per-slot caps; every emitted slot has
+	// exactly AlphaT transmitters and AlphaR receivers.
+	AlphaT, AlphaR int
+	// L is the frame length to search at.
+	L int
+	// MaxIters bounds repair iterations; 0 selects 400·N·D.
+	MaxIters int
+	// Seed drives the randomized repair.
+	Seed uint64
+}
+
+// SearchAlpha attempts to find a topology-transparent (αT, αR)-schedule
+// with frame length exactly L by randomized local repair, and returns a
+// verified schedule or an error when the iteration budget is exhausted
+// (which does not prove impossibility).
+func SearchAlpha(opts Options) (*core.Schedule, error) {
+	n, d := opts.N, opts.D
+	if n < 3 || d < 1 || d > n-1 {
+		return nil, fmt.Errorf("optimize: class N(%d, %d) invalid", n, d)
+	}
+	if opts.AlphaT < 1 || opts.AlphaR < 1 || opts.AlphaT+opts.AlphaR > n {
+		return nil, fmt.Errorf("optimize: caps (%d, %d) invalid for n = %d", opts.AlphaT, opts.AlphaR, n)
+	}
+	if opts.L < 1 {
+		return nil, fmt.Errorf("optimize: L = %d", opts.L)
+	}
+	maxIters := opts.MaxIters
+	if maxIters == 0 {
+		maxIters = 400 * n * d
+	}
+	rng := stats.NewRNG(opts.Seed)
+
+	// Mutable slot state; rebuilt into a core.Schedule for each check.
+	t := make([][]int, opts.L)
+	r := make([][]int, opts.L)
+	for i := range t {
+		perm := rng.Perm(n)
+		t[i] = append([]int(nil), perm[:opts.AlphaT]...)
+		r[i] = append([]int(nil), perm[opts.AlphaT:opts.AlphaT+opts.AlphaR]...)
+	}
+	build := func() (*core.Schedule, error) { return core.New(n, t, r) }
+
+	for iter := 0; iter < maxIters; iter++ {
+		s, err := build()
+		if err != nil {
+			return nil, fmt.Errorf("optimize: internal state invalid: %w", err)
+		}
+		w := randomViolation(s, d, rng)
+		if w == nil {
+			// No violation found from a random probe order; confirm
+			// exhaustively before declaring success.
+			if core.CheckRequirement3(s, d) == nil {
+				return s, nil
+			}
+			continue
+		}
+		repair(n, opts.AlphaR, t, r, w, s, rng)
+	}
+	return nil, fmt.Errorf("optimize: SearchAlpha(n=%d, D=%d, αT=%d, αR=%d, L=%d) exhausted %d iterations",
+		n, d, opts.AlphaT, opts.AlphaR, opts.L, maxIters)
+}
+
+// randomViolation scans transmitter nodes in random order and returns the
+// first Requirement 3 violation found, so successive repairs spread over
+// the whole constraint set instead of thrashing on the smallest violated
+// node (the min-conflicts heuristic).
+func randomViolation(s *core.Schedule, d int, rng *stats.RNG) *core.Witness {
+	n := s.N()
+	for _, x := range rng.Perm(n) {
+		if w := core.CheckRequirement3Node(s, d, x); w != nil {
+			return w
+		}
+	}
+	return nil
+}
+
+// repair mutates one slot toward satisfying the witnessed violation.
+func repair(n, alphaR int, t, r [][]int, w *core.Witness, s *core.Schedule, rng *stats.RNG) {
+	x := w.X
+	if w.K < 0 {
+		// Condition (1): x has no slot free of Y. Put x into a random
+		// slot's transmitter set (evicting a random occupant) and evict
+		// any members of Y transmitting there.
+		i := rng.Intn(len(t))
+		if tx := s.Tran(x); !tx.Empty() {
+			// Prefer repairing a slot x already owns: evict one Y member.
+			slots := tx.Elements()
+			i = slots[rng.Intn(len(slots))]
+			evictAny(n, t, r, i, w.Y, rng)
+			return
+		}
+		slot := t[i]
+		victim := rng.Intn(len(slot))
+		replaceNode(n, t, r, i, slot[victim], x, rng)
+		evictAny(n, t, r, i, w.Y, rng)
+		return
+	}
+	// Condition (2): receiver yk never listens during freeSlots(x, Y).
+	// If x's owned slots cannot even seat its n-1 potential receivers,
+	// no receiver shuffle can fix it: grant x another transmit slot,
+	// stolen from the node owning the most (ownership rebalances under
+	// repeated repair).
+	if s.Tran(x).Count()*alphaR < n-1 {
+		grantSlot(n, t, r, x, s, rng)
+		return
+	}
+	yk := w.Y[w.K]
+	fs := s.FreeSlots(x, w.Y)
+	if fs.Empty() {
+		return // racing with condition (1); next witness will handle it
+	}
+	slots := fs.Elements()
+	i := slots[rng.Intn(len(slots))]
+	// yk is not transmitting in a free slot; make it listen there, evicting
+	// the receiver whose coverage of this slot's transmitters is most
+	// redundant (it listens to them in other slots too), so the fix is less
+	// likely to create the mirror-image violation.
+	if containsNode(r[i], yk) {
+		return
+	}
+	victim := 0
+	bestScore := -1
+	for idx, v := range r[i] {
+		score := 0
+
+		for _, tx := range t[i] {
+			// Count other slots where v listens while tx transmits.
+			s.Tran(tx).ForEach(func(j int) bool {
+				if j != i && s.Recv(v).Contains(j) {
+					score++
+				}
+				return true
+			})
+		}
+		// Small random jitter breaks ties fairly.
+		score = score*4 + rng.Intn(4)
+		if score > bestScore {
+			bestScore = score
+			victim = idx
+		}
+	}
+	r[i][victim] = yk
+}
+
+// grantSlot gives x the transmitter seat of the node currently owning the
+// most transmit slots (ties random), in one of that node's slots where x
+// does not already appear.
+func grantSlot(n int, t, r [][]int, x int, s *core.Schedule, rng *stats.RNG) {
+	rich, richCount := -1, -1
+	for v := 0; v < n; v++ {
+		if v == x {
+			continue
+		}
+		c := s.Tran(v).Count()
+		if c > richCount || (c == richCount && rng.Bool(0.5)) {
+			rich, richCount = v, c
+		}
+	}
+	if rich < 0 || richCount == 0 {
+		return
+	}
+	slots := s.Tran(rich).Elements()
+	// Prefer a slot where x is not already transmitting or receiving.
+	rng.Shuffle(len(slots), func(a, b int) { slots[a], slots[b] = slots[b], slots[a] })
+	for _, i := range slots {
+		if containsNode(t[i], x) {
+			continue
+		}
+		if idx := indexOf(r[i], x); idx >= 0 {
+			// x currently listens there; swap roles with rich.
+			r[i][idx] = rich
+		}
+		if idx := indexOf(t[i], rich); idx >= 0 {
+			t[i][idx] = x
+			return
+		}
+	}
+}
+
+// evictAny removes one transmitting member of ys from slot i (if any),
+// replacing it with a node outside both sets of the slot.
+func evictAny(n int, t, r [][]int, i int, ys []int, rng *stats.RNG) {
+	for _, y := range rng.Perm(len(ys)) {
+		if idx := indexOf(t[i], ys[y]); idx >= 0 {
+			replacement := pickOutside(n, t, r, i, rng)
+			if replacement >= 0 {
+				t[i][idx] = replacement
+			}
+			return
+		}
+	}
+}
+
+// replaceNode swaps out 'old' for 'new' in slot i's transmitter set,
+// removing 'new' from the slot's receiver set first if present (sets must
+// stay disjoint) and backfilling the receiver hole from outside.
+func replaceNode(n int, t, r [][]int, i, old, newNode int, rng *stats.RNG) {
+	if idx := indexOf(r[i], newNode); idx >= 0 {
+		if repl := pickOutside(n, t, r, i, rng); repl >= 0 {
+			r[i][idx] = repl
+		} else {
+			r[i][idx] = old // swap roles
+		}
+	}
+	if idx := indexOf(t[i], old); idx >= 0 {
+		t[i][idx] = newNode
+	}
+}
+
+// pickOutside returns a node absent from both sets of slot i, or -1.
+func pickOutside(n int, t, r [][]int, i int, rng *stats.RNG) int {
+	used := bitset.New(n)
+	for _, v := range t[i] {
+		used.Add(v)
+	}
+	for _, v := range r[i] {
+		used.Add(v)
+	}
+	free := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if !used.Contains(v) {
+			free = append(free, v)
+		}
+	}
+	if len(free) == 0 {
+		return -1
+	}
+	return free[rng.Intn(len(free))]
+}
+
+func indexOf(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func containsNode(s []int, v int) bool { return indexOf(s, v) >= 0 }

@@ -1,0 +1,170 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestBestUnconstrainedMaximizesLifetime(t *testing.T) {
+	p, err := Best(Requirements{MaxNodes: 25, MaxDegree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no constraints the planner should pick a deeply duty-cycled
+	// schedule (longest lifetime), not the non-sleeping base.
+	if p.AlphaT == 0 {
+		t.Fatalf("unconstrained planner picked non-sleeping %s", p.Base)
+	}
+	if p.ActiveFraction >= 1 {
+		t.Fatal("picked schedule does not sleep")
+	}
+	if !core.IsTopologyTransparent(p.Schedule, 2) {
+		t.Fatal("picked schedule not TT")
+	}
+	if p.LifetimeYears <= 0 || p.HopLatencySeconds <= 0 {
+		t.Fatalf("metrics missing: %+v", p)
+	}
+	if len(p.Rationale) == 0 {
+		t.Fatal("no rationale")
+	}
+}
+
+func TestLatencyConstraintBinds(t *testing.T) {
+	// A tight latency cap must force a shorter frame (less sleep) than the
+	// unconstrained choice.
+	loose, err := Best(Requirements{MaxNodes: 25, MaxDegree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Best(Requirements{MaxNodes: 25, MaxDegree: 2, MaxHopLatencySeconds: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.HopLatencySeconds > 0.5 {
+		t.Fatalf("latency cap violated: %.3f", tight.HopLatencySeconds)
+	}
+	if tight.Schedule.L() >= loose.Schedule.L() {
+		t.Fatalf("tight latency should shorten the frame: %d vs %d",
+			tight.Schedule.L(), loose.Schedule.L())
+	}
+	if tight.LifetimeYears > loose.LifetimeYears {
+		t.Fatal("constraint cannot improve the objective")
+	}
+}
+
+func TestLifetimeConstraintBinds(t *testing.T) {
+	// Demand a lifetime only deep duty cycling can reach.
+	p, err := Best(Requirements{MaxNodes: 25, MaxDegree: 2, MinLifetimeYears: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LifetimeYears < 0.05 {
+		t.Fatalf("lifetime floor violated: %.3f", p.LifetimeYears)
+	}
+	if p.AlphaT == 0 {
+		t.Fatal("lifetime floor requires duty cycling")
+	}
+}
+
+func TestThroughputConstraintBinds(t *testing.T) {
+	p, err := Best(Requirements{MaxNodes: 25, MaxDegree: 2, MinAvgThroughput: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := p.AvgThroughput.Float64()
+	if f < 0.1 {
+		t.Fatalf("throughput floor violated: %.4f", f)
+	}
+}
+
+func TestInfeasibleReportsBindingConstraint(t *testing.T) {
+	// A lifetime demand beyond physics must fail with a clear reason.
+	_, err := Best(Requirements{MaxNodes: 25, MaxDegree: 2, MinLifetimeYears: 1000})
+	if err == nil {
+		t.Fatal("impossible lifetime accepted")
+	}
+	if !strings.Contains(err.Error(), "lifetime") {
+		t.Fatalf("error does not name the binding constraint: %v", err)
+	}
+	// Contradictory demands: sub-slot latency.
+	_, err = Best(Requirements{MaxNodes: 25, MaxDegree: 2, MaxHopLatencySeconds: 0.001})
+	if err == nil {
+		t.Fatal("impossible latency accepted")
+	}
+}
+
+func TestSteinerConsideredForD2(t *testing.T) {
+	// For D=2 with a tight latency budget and modest n, Steiner's short
+	// frames should be in play; at minimum the planner must succeed and
+	// respect the cap.
+	p, err := Best(Requirements{MaxNodes: 13, MaxDegree: 2, MaxHopLatencySeconds: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.HopLatencySeconds > 0.2 {
+		t.Fatalf("latency cap violated: %v", p.HopLatencySeconds)
+	}
+}
+
+func TestBalancedRequest(t *testing.T) {
+	p, err := Best(Requirements{MaxNodes: 12, MaxDegree: 3, Balanced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AlphaT == 0 {
+		t.Skip("planner picked non-sleeping; balance not exercised")
+	}
+	// Balanced division: per-node activity within small spread for the
+	// TDMA base (the likely winner at n=12, D=3).
+	s := p.Schedule
+	min, max := s.L()*2, 0
+	for x := 0; x < s.N(); x++ {
+		act := s.Tran(x).Count() + s.Recv(x).Count()
+		if act < min {
+			min = act
+		}
+		if act > max {
+			max = act
+		}
+	}
+	if max-min > max/2+2 {
+		t.Fatalf("balanced plan has spread %d..%d", min, max)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Best(Requirements{MaxNodes: 2, MaxDegree: 1}); err == nil {
+		t.Fatal("degenerate class accepted")
+	}
+	if _, err := Best(Requirements{MaxNodes: 10, MaxDegree: 10}); err == nil {
+		t.Fatal("D=n accepted")
+	}
+	if _, err := Best(Requirements{MaxNodes: 10, MaxDegree: 2,
+		Energy: sim.EnergyModel{TxPower: 1}}); err == nil {
+		t.Fatal("zero slot duration accepted")
+	}
+}
+
+func TestLargeClassUsesBoundsNotScans(t *testing.T) {
+	// n beyond the exact-scan limit must still plan quickly using the L-1
+	// latency bound.
+	p, err := Best(Requirements{MaxNodes: 121, MaxDegree: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schedule.N() != 121 {
+		t.Fatalf("n = %d", p.Schedule.N())
+	}
+	found := false
+	for _, r := range p.Rationale {
+		if strings.Contains(r, "exact-scan limit") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("large-class rationale missing")
+	}
+}

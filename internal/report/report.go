@@ -1,0 +1,138 @@
+// Package report renders a complete plain-text analysis of a schedule: the
+// topology-transparency verdict, every worst-case throughput figure against
+// its theorem bound, the latency bound, energy and lifetime projections,
+// per-node duty statistics, and (for small frames) the role grid. It backs
+// `ttdcanalyze -report` and gives library users a one-call health check.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tablewriter"
+)
+
+// Options configures Generate.
+type Options struct {
+	// D is the degree bound of the network class to analyze against.
+	D int
+	// SkipMinThroughput skips the Θ(n²·C(n-2,D-1)) minimum-throughput and
+	// latency scans (the rest of the report is cheap).
+	SkipMinThroughput bool
+	// BatteryJoules sizes the lifetime projection; 0 means 20000 J (2xAA).
+	BatteryJoules float64
+	// Energy is the radio model; zero value means sim.DefaultEnergy.
+	Energy sim.EnergyModel
+	// GridWidth caps the role-grid rendering width; 0 disables the grid
+	// for frames longer than 120 slots.
+	GridWidth int
+}
+
+// Generate renders the report for schedule s.
+func Generate(s *core.Schedule, opts Options) (string, error) {
+	n := s.N()
+	if opts.D < 1 || opts.D > n-1 {
+		return "", fmt.Errorf("report: D = %d outside [1, %d]", opts.D, n-1)
+	}
+	d := opts.D
+	em := opts.Energy
+	if em == (sim.EnergyModel{}) {
+		em = sim.DefaultEnergy()
+	}
+	battery := opts.BatteryJoules
+	if battery == 0 {
+		battery = 20000
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "SCHEDULE ANALYSIS — class N(%d, %d)\n", n, d)
+	fmt.Fprintf(&b, "%s\n\n", strings.Repeat("=", 40))
+
+	fmt.Fprintf(&b, "shape:       n=%d, frame L=%d, non-sleeping=%v\n", n, s.L(), s.IsNonSleeping())
+	if aT, aR := s.MaxTransmitters(), s.MaxReceivers(); aT >= 1 && aR >= 1 {
+		fmt.Fprintf(&b, "frame bound: counting lower bound for (%d, %d)-schedules is %d slots\n",
+			aT, aR, core.MinFrameLowerBound(n, aT, aR))
+	}
+	fmt.Fprintf(&b, "per slot:    transmitters %d..%d, receivers <= %d\n",
+		s.MinTransmitters(), s.MaxTransmitters(), s.MaxReceivers())
+	fmt.Fprintf(&b, "energy:      active fraction %.4f\n\n", s.ActiveFraction())
+
+	// Topology transparency.
+	if w := core.CheckRequirement3(s, d); w != nil {
+		fmt.Fprintf(&b, "topology-transparent: NO\n  witness: %v\n\n", w)
+	} else {
+		fmt.Fprintf(&b, "topology-transparent: yes (Requirement 3 verified exhaustively)\n\n")
+	}
+
+	// Throughput vs bounds.
+	avg := core.AvgThroughput(s, d)
+	fmt.Fprintf(&b, "Thr^ave            = %-12s (%.6f)\n", avg.RatString(), ratF(avg))
+	t3 := core.GeneralThroughputBound(n, d)
+	fmt.Fprintf(&b, "Theorem 3 bound    = %-12s (%.6f), αT★ = %d\n",
+		t3.RatString(), ratF(t3), core.OptimalTransmitters(n, d))
+	aT, aR := s.MaxTransmitters(), s.MaxReceivers()
+	if aT >= 1 && aR >= 1 {
+		t4 := core.CappedThroughputBound(n, d, aT, aR)
+		ratio := core.OptimalityRatio(s, d, aT, aR)
+		fmt.Fprintf(&b, "Theorem 4 bound    = %-12s (%.6f) for caps (%d, %d)\n",
+			t4.RatString(), ratF(t4), aT, aR)
+		fmt.Fprintf(&b, "optimality ratio   = %.6f", ratF(ratio))
+		if ratio.Num().Cmp(ratio.Denom()) == 0 {
+			fmt.Fprintf(&b, "  ← attains the Theorem 4 optimum")
+		}
+		fmt.Fprintln(&b)
+	}
+	if !opts.SkipMinThroughput {
+		min := core.MinThroughput(s, d)
+		fmt.Fprintf(&b, "Thr^min            = %-12s (%.6f)\n", min.RatString(), ratF(min))
+		if bound, ok := core.WorstCaseHopLatency(s, d); ok {
+			fmt.Fprintf(&b, "hop latency bound  = %d slots (out of L-1 = %d)\n", bound, s.L()-1)
+		} else {
+			fmt.Fprintf(&b, "hop latency bound  = unbounded (not topology-transparent)\n")
+		}
+	}
+	fmt.Fprintln(&b)
+
+	// Lifetime.
+	if est, err := sim.EstimateLifetime(s, em, battery); err == nil {
+		const year = 365.25 * 24 * 3600
+		fmt.Fprintf(&b, "lifetime (%.0f J battery, saturated): first death %.2f y (node %d), mean %.2f y\n",
+			battery, est.MinSeconds/year, est.MinNode, est.MeanSeconds/year)
+	}
+
+	// Per-node duty.
+	duty := make([]float64, n)
+	tab := tablewriter.New("", "node", "tx slots", "rx slots", "duty cycle")
+	for x := 0; x < n; x++ {
+		tx, rx := s.Tran(x).Count(), s.Recv(x).Count()
+		duty[x] = float64(tx + rx)
+		if x < 10 {
+			tab.AddRow(x, tx, rx, fmt.Sprintf("%.3f", s.DutyCycle(x)))
+		}
+	}
+	fmt.Fprintf(&b, "per-node activity Gini = %.4f (0 = perfectly balanced)\n\n", stats.Gini(duty))
+	if err := tab.WriteText(&b); err != nil {
+		return "", err
+	}
+	if n > 10 {
+		fmt.Fprintf(&b, "... (%d more nodes)\n", n-10)
+	}
+
+	// Grid for small frames.
+	width := opts.GridWidth
+	if width == 0 && s.L() <= 120 {
+		width = 120
+	}
+	if width > 0 {
+		fmt.Fprintf(&b, "\nrole grid (T=transmit, R=receive, .=sleep):\n%s", s.Grid(width))
+	}
+	return b.String(), nil
+}
+
+func ratF(r interface{ Float64() (float64, bool) }) float64 {
+	f, _ := r.Float64()
+	return f
+}

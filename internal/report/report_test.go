@@ -1,0 +1,120 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cff"
+	"repro/internal/core"
+)
+
+func polySchedule(t *testing.T, n, d int) *core.Schedule {
+	t.Helper()
+	fam, err := cff.PolynomialFor(n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.ScheduleFromFamily(fam.L, fam.Sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestGenerateFullReport(t *testing.T) {
+	ns := polySchedule(t, 9, 2)
+	duty, err := core.Construct(ns, core.ConstructOptions{AlphaT: 2, AlphaR: 3, D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Generate(duty, Options{D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"class N(9, 2)",
+		"topology-transparent: yes",
+		"Thr^ave",
+		"Theorem 3 bound",
+		"Theorem 4 bound",
+		"optimality ratio",
+		"Thr^min",
+		"hop latency bound",
+		"lifetime",
+		"Gini",
+		"role grid",
+		"attains the Theorem 4 optimum",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateNonTTReport(t *testing.T) {
+	// Node 0 never transmits.
+	s, err := core.New(4, [][]int{{1}, {2}, {3}}, [][]int{{0, 2, 3}, {0, 1, 3}, {0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Generate(s, Options{D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "topology-transparent: NO") {
+		t.Fatalf("non-TT verdict missing:\n%s", out)
+	}
+	if !strings.Contains(out, "witness") {
+		t.Fatal("witness missing")
+	}
+	if !strings.Contains(out, "unbounded") {
+		t.Fatal("latency should report unbounded")
+	}
+}
+
+func TestGenerateSkipsExpensiveScan(t *testing.T) {
+	s := polySchedule(t, 25, 2)
+	out, err := Generate(s, Options{D: 2, SkipMinThroughput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "Thr^min") {
+		t.Fatal("SkipMinThroughput did not skip")
+	}
+}
+
+func TestGenerateLargeFrameOmitsGrid(t *testing.T) {
+	ns := polySchedule(t, 25, 2)
+	duty, err := core.Construct(ns, core.ConstructOptions{AlphaT: 2, AlphaR: 3, D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if duty.L() <= 120 {
+		t.Skip("frame unexpectedly small")
+	}
+	out, err := Generate(duty, Options{D: 2, SkipMinThroughput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "role grid") {
+		t.Fatal("large frame should omit the grid by default")
+	}
+	// But an explicit width forces it.
+	out2, err := Generate(duty, Options{D: 2, SkipMinThroughput: true, GridWidth: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2, "role grid") {
+		t.Fatal("explicit GridWidth should include the grid")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	s := polySchedule(t, 9, 2)
+	if _, err := Generate(s, Options{D: 0}); err == nil {
+		t.Fatal("D=0 accepted")
+	}
+	if _, err := Generate(s, Options{D: 9}); err == nil {
+		t.Fatal("D=n accepted")
+	}
+}

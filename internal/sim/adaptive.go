@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// AdaptiveProtocol switches between two topology-transparent schedules at
+// frame boundaries, tracking offered load: a low-power (αT, αR)-schedule
+// while the network is quiet and a high-throughput one under backlog. Since
+// every frame played is a complete frame of a topology-transparent
+// schedule, every link keeps its guaranteed slot in every frame — adaptivity
+// costs none of the paper's guarantees. This realizes the natural
+// future-work extension of the paper's static (αT, αR) choice.
+//
+// Load is measured per frame as the fraction of node-slots with backlog
+// (ShouldTransmit consultations when the driver is target-aware, wantTx
+// flags otherwise) and compared against the hysteresis thresholds.
+type AdaptiveProtocol struct {
+	// Low is the energy-saving schedule; High the throughput schedule.
+	// Both must cover the same universe.
+	Low, High *core.Schedule
+	// UpThreshold switches Low→High when frame load exceeds it;
+	// DownThreshold switches High→Low when load falls below it. Hysteresis
+	// requires DownThreshold <= UpThreshold.
+	UpThreshold, DownThreshold float64
+
+	cur      *core.Schedule
+	lastSlot int
+	pos      int // position within the current frame
+	// load accounting for the current frame
+	shouldCalls int // ShouldTransmit consultations (backlogged node-slots)
+	roleWantTx  int // Role calls with wantTx (fallback signal)
+	roleCalls   int
+	sawShould   bool
+	switches    int
+}
+
+// NewAdaptive builds an adaptive protocol. Both schedules must share the
+// node universe; thresholds must satisfy 0 <= down <= up <= 1.
+func NewAdaptive(low, high *core.Schedule, up, down float64) (*AdaptiveProtocol, error) {
+	if low == nil || high == nil || low.N() != high.N() {
+		return nil, fmt.Errorf("sim: adaptive schedules must share a universe")
+	}
+	if down < 0 || up > 1 || down > up {
+		return nil, fmt.Errorf("sim: adaptive thresholds down=%v up=%v invalid", down, up)
+	}
+	return &AdaptiveProtocol{
+		Low: low, High: high,
+		UpThreshold: up, DownThreshold: down,
+		cur:      low,
+		lastSlot: -1,
+		pos:      -1,
+	}, nil
+}
+
+// Name implements Protocol.
+func (p *AdaptiveProtocol) Name() string { return "adaptive" }
+
+// FrameLen implements Protocol; drivers size runs by the low-power frame
+// (the longer period), which upper-bounds the guarantee interval.
+func (p *AdaptiveProtocol) FrameLen() int {
+	if p.Low.L() > p.High.L() {
+		return p.Low.L()
+	}
+	return p.High.L()
+}
+
+// Current returns the schedule in force (for inspection in tests/reports).
+func (p *AdaptiveProtocol) Current() *core.Schedule { return p.cur }
+
+// Switches returns how many schedule changes have occurred.
+func (p *AdaptiveProtocol) Switches() int { return p.switches }
+
+// sync advances frame-tracking state when the driver moves to a new slot.
+// Drivers query nodes in ascending order within a slot, and slots in
+// ascending order, which makes the first query of a slot a reliable edge.
+func (p *AdaptiveProtocol) sync(slot int) {
+	if slot == p.lastSlot {
+		return
+	}
+	p.lastSlot = slot
+	p.pos++
+	if p.pos < p.cur.L() {
+		return
+	}
+	// Frame boundary: evaluate the frame that just ended, maybe switch.
+	frameNodeSlots := float64(p.cur.N() * p.cur.L())
+	var load float64
+	if p.sawShould {
+		load = float64(p.shouldCalls) / frameNodeSlots
+	} else if p.roleCalls > 0 {
+		load = float64(p.roleWantTx) / frameNodeSlots
+	}
+	switch {
+	case p.cur == p.Low && load > p.UpThreshold:
+		p.cur = p.High
+		p.switches++
+	case p.cur == p.High && load < p.DownThreshold:
+		p.cur = p.Low
+		p.switches++
+	}
+	p.pos = 0
+	p.shouldCalls = 0
+	p.roleWantTx = 0
+	p.roleCalls = 0
+	p.sawShould = false
+}
+
+// slotInFrame maps the driver's absolute slot onto the current schedule's
+// frame position (switches always land on frame boundaries).
+func (p *AdaptiveProtocol) slotInFrame() int { return p.pos }
+
+// Role implements Protocol.
+func (p *AdaptiveProtocol) Role(node, slot int, wantTx bool) core.Role {
+	p.sync(slot)
+	p.roleCalls++
+	if wantTx {
+		p.roleWantTx++
+	}
+	r := p.cur.RoleOf(node, p.slotInFrame())
+	if r == core.Transmit && !wantTx {
+		return core.Sleep
+	}
+	return r
+}
+
+// ShouldTransmit implements TargetAware against the schedule currently in
+// force.
+func (p *AdaptiveProtocol) ShouldTransmit(node, target, slot int) bool {
+	p.sync(slot)
+	p.sawShould = true
+	p.shouldCalls++
+	i := p.slotInFrame()
+	return p.cur.RoleOf(node, i) == core.Transmit && p.cur.RoleOf(target, i) == core.Receive
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Channel models non-collision packet losses. The paper restricts its
+// analysis to collision failures (§3); this extension checks how the
+// guarantees degrade under the failures it sets aside. The zero value is
+// the paper's ideal channel.
+type Channel struct {
+	// LossProb is an independent per-(transmission, receiver, slot)
+	// Bernoulli erasure probability (fading, interference bursts).
+	LossProb float64
+	// CaptureProb is the probability that a collision of two or more
+	// transmissions still delivers one of them (chosen uniformly) — the
+	// capture effect of real receivers. 0 reproduces the paper's model
+	// where every collision destroys everything.
+	CaptureProb float64
+}
+
+func (c Channel) validate() error {
+	if c.LossProb < 0 || c.LossProb > 1 {
+		return fmt.Errorf("sim: LossProb %v out of [0, 1]", c.LossProb)
+	}
+	if c.CaptureProb < 0 || c.CaptureProb > 1 {
+		return fmt.Errorf("sim: CaptureProb %v out of [0, 1]", c.CaptureProb)
+	}
+	return nil
+}
+
+// ideal reports whether the channel is the paper's lossless model.
+func (c Channel) ideal() bool { return c == Channel{} }
+
+// resolve decides the outcome of a reception attempt at one receiver given
+// the transmitting neighbours. senders must be the transmitting neighbours
+// of the receiver this slot; pick receives the winning sender index in
+// senders, or -1 when nothing is received. collided reports whether a
+// collision occurred (for accounting), regardless of capture.
+func (c Channel) resolve(senders []int, rng *stats.RNG) (pick int, collided bool) {
+	switch {
+	case len(senders) == 0:
+		return -1, false
+	case len(senders) == 1:
+		if c.LossProb > 0 && rng.Bool(c.LossProb) {
+			return -1, false
+		}
+		return 0, false
+	default:
+		if c.CaptureProb > 0 && rng.Bool(c.CaptureProb) {
+			w := rng.Intn(len(senders))
+			if c.LossProb > 0 && rng.Bool(c.LossProb) {
+				return -1, true
+			}
+			return w, true
+		}
+		return -1, true
+	}
+}
+
+// ClockModel models imperfect slot synchronization: each node's clock
+// drifts at a constant rate (uniform in ±MaxDriftPPM), and a
+// synchronization protocol re-zeroes all offsets every ResyncInterval
+// slots. A transmission is only decodable when sender and receiver slot
+// boundaries are misaligned by less than GuardFraction of a slot. The
+// paper assumes "an efficient synchronization scheme is available"; this
+// substrate quantifies how efficient it has to be.
+type ClockModel struct {
+	// MaxDriftPPM bounds each node's crystal drift rate (parts per
+	// million). Commodity sensor crystals are 20-100 ppm.
+	MaxDriftPPM float64
+	// GuardFraction is the tolerated misalignment as a fraction of the
+	// slot duration (guard time / slot time).
+	GuardFraction float64
+	// ResyncInterval is the number of slots between global
+	// re-synchronizations; 0 means never resync.
+	ResyncInterval int
+	// Seed draws the per-node drift rates.
+	Seed uint64
+}
+
+// clockState is the runtime instantiation of a ClockModel.
+type clockState struct {
+	model ClockModel
+	drift []float64 // per-node drift, in slot-fractions per slot
+}
+
+// newClockState draws per-node drifts. slotSeconds cancels out: a drift of
+// r ppm accumulates r·1e-6 slot-fractions of offset per elapsed slot.
+func newClockState(m ClockModel, n int) (*clockState, error) {
+	if m.MaxDriftPPM < 0 || m.GuardFraction < 0 || m.ResyncInterval < 0 {
+		return nil, fmt.Errorf("sim: invalid clock model %+v", m)
+	}
+	cs := &clockState{model: m, drift: make([]float64, n)}
+	rng := stats.NewRNG(m.Seed)
+	for i := range cs.drift {
+		cs.drift[i] = (rng.Float64()*2 - 1) * m.MaxDriftPPM * 1e-6
+	}
+	return cs, nil
+}
+
+// offset returns node v's clock offset at the given absolute slot, in
+// slot-fractions, relative to the last resync.
+func (cs *clockState) offset(v, slot int) float64 {
+	since := slot
+	if cs.model.ResyncInterval > 0 {
+		since = slot % cs.model.ResyncInterval
+	}
+	return cs.drift[v] * float64(since)
+}
+
+// aligned reports whether u and v are synchronized tightly enough in this
+// slot for a transmission between them to be decodable.
+func (cs *clockState) aligned(u, v, slot int) bool {
+	d := cs.offset(u, slot) - cs.offset(v, slot)
+	if d < 0 {
+		d = -d
+	}
+	return d <= cs.model.GuardFraction
+}
+
+// RequiredResyncInterval returns the largest resync interval (in slots)
+// that keeps every node pair within the guard band: two clocks drifting
+// apart at up to 2·MaxDriftPPM accumulate GuardFraction of misalignment
+// after GuardFraction / (2·MaxDriftPPM·1e-6) slots. Returns 0 when drift
+// is zero (no resync ever needed).
+func RequiredResyncInterval(m ClockModel) int {
+	if m.MaxDriftPPM <= 0 {
+		return 0
+	}
+	return int(m.GuardFraction / (2 * m.MaxDriftPPM * 1e-6))
+}

@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+func TestConvergecastTracer(t *testing.T) {
+	g := topology.Line(4)
+	s := tdmaSchedule(t, 4)
+	counter := trace.NewCounter()
+	ring := trace.NewRing(64)
+	res, err := RunConvergecast(g, s, ConvergecastConfig{
+		Sink: 0, Rate: 0.05, Frames: 100, Seed: 3,
+		Tracer: trace.Multi{counter, ring},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trace counts must be consistent with the result (warmup 0, so the
+	// measured window is the whole run).
+	if counter.Count(trace.Generate) != res.Generated {
+		t.Fatalf("tracer generate %d != result %d", counter.Count(trace.Generate), res.Generated)
+	}
+	// Deliveries include intermediate hops; sink deliveries are a subset.
+	if counter.Count(trace.Deliver) < res.Delivered {
+		t.Fatalf("tracer deliveries %d below sink count %d", counter.Count(trace.Deliver), res.Delivered)
+	}
+	if counter.Count(trace.Collision) != res.Collisions {
+		t.Fatalf("tracer collisions %d != result %d", counter.Count(trace.Collision), res.Collisions)
+	}
+	if counter.Count(trace.Transmit) < counter.Count(trace.Deliver) {
+		t.Fatal("more deliveries than transmissions")
+	}
+	if ring.Total() == 0 || len(ring.Events()) == 0 {
+		t.Fatal("ring captured nothing")
+	}
+	// Per-node energy sums to the total.
+	sum := 0.0
+	for _, e := range res.EnergyPerNode {
+		sum += e
+	}
+	if diff := sum - res.TotalEnergy; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("per-node energy %v != total %v", sum, res.TotalEnergy)
+	}
+}
+
+func TestChannelValidate(t *testing.T) {
+	if err := (Channel{}).validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Channel{
+		{LossProb: -0.1}, {LossProb: 1.1}, {CaptureProb: -1}, {CaptureProb: 2},
+	} {
+		if err := c.validate(); err == nil {
+			t.Fatalf("%+v accepted", c)
+		}
+	}
+}
+
+func TestChannelResolveIdeal(t *testing.T) {
+	ch := Channel{}
+	rng := stats.NewRNG(1)
+	if pick, col := ch.resolve(nil, rng); pick != -1 || col {
+		t.Fatal("empty senders should yield nothing")
+	}
+	if pick, col := ch.resolve([]int{5}, rng); pick != 0 || col {
+		t.Fatal("single sender should always deliver on the ideal channel")
+	}
+	if pick, col := ch.resolve([]int{5, 7}, rng); pick != -1 || !col {
+		t.Fatal("two senders must collide with no capture")
+	}
+}
+
+func TestChannelLossRate(t *testing.T) {
+	ch := Channel{LossProb: 0.3}
+	rng := stats.NewRNG(9)
+	lost := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if pick, _ := ch.resolve([]int{1}, rng); pick < 0 {
+			lost++
+		}
+	}
+	frac := float64(lost) / trials
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("loss fraction %v, want ~0.3", frac)
+	}
+}
+
+func TestChannelCapture(t *testing.T) {
+	ch := Channel{CaptureProb: 0.5}
+	rng := stats.NewRNG(4)
+	captured := 0
+	winners := map[int]int{}
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		pick, col := ch.resolve([]int{3, 8}, rng)
+		if !col {
+			t.Fatal("multi-sender resolve must report a collision")
+		}
+		if pick >= 0 {
+			captured++
+			winners[pick]++
+		}
+	}
+	frac := float64(captured) / trials
+	if frac < 0.46 || frac > 0.54 {
+		t.Fatalf("capture fraction %v, want ~0.5", frac)
+	}
+	// Winner roughly uniform.
+	if winners[0] == 0 || winners[1] == 0 {
+		t.Fatalf("capture winners skewed: %v", winners)
+	}
+}
+
+func TestConvergecastWithLossStillDelivers(t *testing.T) {
+	// Retransmissions overcome erasures: delivery ratio dips but stays
+	// well above the per-attempt success rate.
+	g := topology.Line(4)
+	s := tdmaSchedule(t, 4)
+	clean, err := RunConvergecast(g, s, ConvergecastConfig{
+		Sink: 0, Rate: 0.005, Frames: 800, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := RunConvergecast(g, s, ConvergecastConfig{
+		Sink: 0, Rate: 0.005, Frames: 800, Seed: 3,
+		Channel: Channel{LossProb: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.DeliveryRatio < 0.8*clean.DeliveryRatio {
+		t.Fatalf("loss crushed delivery: %v vs %v", lossy.DeliveryRatio, clean.DeliveryRatio)
+	}
+	if lossy.Latency.Mean() <= clean.Latency.Mean() {
+		t.Fatalf("erasures should raise mean latency: %v vs %v",
+			lossy.Latency.Mean(), clean.Latency.Mean())
+	}
+}
+
+func TestIdealChannelBitIdentical(t *testing.T) {
+	// The zero channel must not consume randomness: results identical to
+	// the pre-channel behaviour with the same seed.
+	g := topology.Star(6)
+	s := tdmaSchedule(t, 6)
+	a, err := RunConvergecast(g, s, ConvergecastConfig{Sink: 0, Rate: 0.02, Frames: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunConvergecast(g, s, ConvergecastConfig{
+		Sink: 0, Rate: 0.02, Frames: 200, Seed: 5, Channel: Channel{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delivered != b.Delivered || a.Generated != b.Generated || a.Collisions != b.Collisions {
+		t.Fatal("zero channel changed results")
+	}
+}
+
+func TestCaptureRecoversCollisions(t *testing.T) {
+	// On a collision-heavy ALOHA star, capture strictly improves delivery.
+	g := topology.Star(8)
+	base := ConvergecastConfig{Sink: 0, Rate: 0.05, Frames: 3000, Seed: 7}
+	noCap, err := RunConvergecastProtocol(g, NewAloha(0.4, 1), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCap := base
+	withCap.Channel = Channel{CaptureProb: 0.8}
+	cap, err := RunConvergecastProtocol(g, NewAloha(0.4, 1), withCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap.Delivered <= noCap.Delivered {
+		t.Fatalf("capture should increase deliveries: %d vs %d", cap.Delivered, noCap.Delivered)
+	}
+}
+
+func TestTrafficPhases(t *testing.T) {
+	g := topology.Line(3)
+	s := tdmaSchedule(t, 3)
+	// Bursty pattern: 300 quiet slots, 300 busy slots.
+	res, err := RunConvergecast(g, s, ConvergecastConfig{
+		Sink: 0, Frames: 400, Seed: 8,
+		Phases: []TrafficPhase{{Slots: 300, Rate: 0}, {Slots: 300, Rate: 0.05}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated == 0 {
+		t.Fatal("bursty run generated nothing")
+	}
+	// Expected generation: half the time at 0.05/node/slot for 2 sources.
+	expect := 400.0 * 3.0 / 2.0 * 0.05 * 2
+	if float64(res.Generated) < 0.7*expect || float64(res.Generated) > 1.3*expect {
+		t.Fatalf("generated %d, expect ~%.0f", res.Generated, expect)
+	}
+	// Invalid phase rejected.
+	if _, err := RunConvergecast(g, s, ConvergecastConfig{
+		Sink: 0, Frames: 10, Phases: []TrafficPhase{{Slots: 0, Rate: 1}},
+	}); err == nil {
+		t.Fatal("zero-length phase accepted")
+	}
+}
+
+func TestClockModelAlignment(t *testing.T) {
+	cs, err := newClockState(ClockModel{MaxDriftPPM: 50, GuardFraction: 0.1, Seed: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At slot 0 everything is aligned.
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			if !cs.aligned(u, v, 0) {
+				t.Fatal("slot 0 should be aligned")
+			}
+		}
+	}
+	// Far in the future without resync, some pair drifts apart.
+	misaligned := false
+	for u := 0; u < 4 && !misaligned; u++ {
+		for v := 0; v < 4; v++ {
+			if u != v && !cs.aligned(u, v, 10_000_000) {
+				misaligned = true
+				break
+			}
+		}
+	}
+	if !misaligned {
+		t.Fatal("50 ppm drift should eventually break a 10% guard band")
+	}
+}
+
+func TestClockResyncKeepsAlignment(t *testing.T) {
+	m := ClockModel{MaxDriftPPM: 50, GuardFraction: 0.1, Seed: 2}
+	interval := RequiredResyncInterval(m)
+	if interval <= 0 {
+		t.Fatalf("RequiredResyncInterval = %d", interval)
+	}
+	// 0.1 / (2·50e-6) = 1000 slots.
+	if interval != 1000 {
+		t.Fatalf("interval = %d, want 1000", interval)
+	}
+	m.ResyncInterval = interval
+	cs, err := newClockState(m, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, slot := range []int{0, 500, 999, 1000, 123456, 999999} {
+		for u := 0; u < 6; u++ {
+			for v := 0; v < 6; v++ {
+				if !cs.aligned(u, v, slot) {
+					t.Fatalf("pair (%d,%d) misaligned at slot %d despite adequate resync", u, v, slot)
+				}
+			}
+		}
+	}
+	if RequiredResyncInterval(ClockModel{GuardFraction: 0.1}) != 0 {
+		t.Fatal("zero drift should need no resync")
+	}
+}
+
+func TestConvergecastUnderClockDrift(t *testing.T) {
+	g := topology.Line(4)
+	s := tdmaSchedule(t, 4)
+	base := ConvergecastConfig{Sink: 0, Rate: 0.01, Frames: 1500, Seed: 6}
+
+	// Adequate resync: behaves like the ideal system.
+	good := base
+	good.Clock = &ClockModel{MaxDriftPPM: 40, GuardFraction: 0.1, ResyncInterval: 1000, Seed: 3}
+	gres, err := RunConvergecast(g, s, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.DeliveryRatio < 0.95 {
+		t.Fatalf("well-synced network should deliver: %v", gres.DeliveryRatio)
+	}
+	// No resync at all: clocks drift apart and the network eventually
+	// stops delivering new packets.
+	bad := base
+	bad.Clock = &ClockModel{MaxDriftPPM: 40, GuardFraction: 0.1, Seed: 3}
+	bres, err := RunConvergecast(g, s, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.DeliveryRatio >= gres.DeliveryRatio {
+		t.Fatalf("unsynchronized network should deliver less: %v vs %v",
+			bres.DeliveryRatio, gres.DeliveryRatio)
+	}
+}
+
+func TestFloodWithChannelAndClock(t *testing.T) {
+	g := topology.Grid(3, 3)
+	s := tdmaSchedule(t, 9)
+	res, err := RunFlood(g, ScheduleProtocol{S: s}, FloodConfig{
+		Source: 0, MaxFrames: 60, Seed: 4,
+		Channel: Channel{LossProb: 0.2},
+		Clock:   &ClockModel{MaxDriftPPM: 30, GuardFraction: 0.1, ResyncInterval: 1000, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covered != 9 {
+		t.Fatalf("lossy flood with retransmissions should still complete: covered %d", res.Covered)
+	}
+	// Invalid channel rejected.
+	if _, err := RunFlood(g, ScheduleProtocol{S: s}, FloodConfig{
+		Source: 0, MaxFrames: 2, Channel: Channel{LossProb: 2},
+	}); err == nil {
+		t.Fatal("invalid channel accepted")
+	}
+}

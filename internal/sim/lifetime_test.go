@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestEstimateLifetimeTDMA(t *testing.T) {
+	s := tdmaSchedule(t, 4)
+	em := EnergyModel{TxPower: 2, RxPower: 1, SleepPower: 0, SlotSeconds: 1}
+	est, err := EstimateLifetime(s, em, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per frame (4 slots): 1 tx (2 J) + 3 rx (3 J) = 5 J over 4 s → 1.25 W.
+	want := 100.0 / 1.25
+	for x, got := range est.PerNodeSeconds {
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("node %d lifetime %v, want %v", x, got, want)
+		}
+	}
+	if est.MinSeconds != want || math.Abs(est.MeanSeconds-want) > 1e-9 {
+		t.Fatalf("min/mean %v/%v, want %v", est.MinSeconds, est.MeanSeconds, want)
+	}
+	if est.MinNode < 0 || est.MinNode > 3 {
+		t.Fatalf("MinNode = %d", est.MinNode)
+	}
+}
+
+func TestDutyCyclingExtendsLifetime(t *testing.T) {
+	ns := polySchedule(t, 25, 2)
+	duty, err := core.Construct(ns, core.ConstructOptions{AlphaT: 3, AlphaR: 5, D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := DefaultEnergy()
+	full, err := EstimateLifetime(ns, em, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycled, err := EstimateLifetime(duty, em, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycled.MinSeconds <= full.MinSeconds {
+		t.Fatalf("duty cycling should extend first-death lifetime: %v vs %v",
+			cycled.MinSeconds, full.MinSeconds)
+	}
+	ratio := cycled.MinSeconds / full.MinSeconds
+	// Active fraction 0.32 vs 1.0 with rx-dominated power: expect roughly
+	// 1/0.32 ≈ 3x, allow slack for tx/rx mix.
+	if ratio < 2 || ratio > 5 {
+		t.Fatalf("lifetime extension ratio %v implausible", ratio)
+	}
+}
+
+func TestEstimateLifetimeValidation(t *testing.T) {
+	s := tdmaSchedule(t, 3)
+	if _, err := EstimateLifetime(s, DefaultEnergy(), 0); err == nil {
+		t.Fatal("zero battery accepted")
+	}
+	if _, err := EstimateLifetime(s, EnergyModel{TxPower: 1, RxPower: 1}, 10); err == nil {
+		t.Fatal("zero slot duration accepted")
+	}
+}

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Protocol abstracts "who does what in a slot" so the workloads can compare
+// schedule-driven MACs against the contention-based ones the WSN literature
+// uses as references. Implementations must be deterministic given their
+// seed and the (node, slot) call order, which the workload drivers fix.
+type Protocol interface {
+	// Name identifies the protocol in reports.
+	Name() string
+	// FrameLen returns the protocol's natural period in slots (1 for
+	// memoryless protocols); workloads size runs in frames.
+	FrameLen() int
+	// Role returns the radio state of node in the given absolute slot.
+	// wantTx reports whether the node has traffic it would like to send;
+	// contention protocols gate their transmit decision on it.
+	Role(node, slot int, wantTx bool) core.Role
+}
+
+// TargetAware is implemented by protocols whose senders know when their
+// intended receiver listens (schedule-driven MACs: the schedule is global
+// knowledge). Workloads consult it to avoid hopeless transmissions; for
+// protocols without it, senders transmit blindly.
+type TargetAware interface {
+	// ShouldTransmit reports whether node should spend a transmission on
+	// target in this slot.
+	ShouldTransmit(node, target, slot int) bool
+}
+
+// ScheduleProtocol drives roles from a core.Schedule: the MAC this library
+// is about.
+type ScheduleProtocol struct {
+	S *core.Schedule
+}
+
+// Name implements Protocol.
+func (p ScheduleProtocol) Name() string { return "schedule" }
+
+// FrameLen implements Protocol.
+func (p ScheduleProtocol) FrameLen() int { return p.S.L() }
+
+// Role implements Protocol. A transmit-eligible node with nothing to send
+// keeps its radio off (sender-initiated MAC).
+func (p ScheduleProtocol) Role(node, slot int, wantTx bool) core.Role {
+	r := p.S.RoleOf(node, slot)
+	if r == core.Transmit && !wantTx {
+		return core.Sleep
+	}
+	return r
+}
+
+// ShouldTransmit implements TargetAware: transmit only when the schedule
+// lets the sender transmit and the target receive.
+func (p ScheduleProtocol) ShouldTransmit(node, target, slot int) bool {
+	return p.S.RoleOf(node, slot) == core.Transmit && p.S.RoleOf(target, slot) == core.Receive
+}
+
+// AlohaProtocol is slotted ALOHA: a node with traffic transmits with
+// probability P each slot and listens otherwise; idle nodes always listen.
+// No sleeping — the energy-hungry reference point.
+type AlohaProtocol struct {
+	// P is the per-slot transmission probability.
+	P   float64
+	rng *stats.RNG
+	// cache remembers the draw for (node, slot) so repeated Role queries in
+	// one slot agree.
+	cacheSlot int
+	cache     map[int]bool
+}
+
+// NewAloha returns a slotted-ALOHA protocol with transmission probability
+// p, seeded deterministically.
+func NewAloha(p float64, seed uint64) *AlohaProtocol {
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("sim: ALOHA probability %v out of (0, 1]", p))
+	}
+	return &AlohaProtocol{P: p, rng: stats.NewRNG(seed), cacheSlot: -1, cache: map[int]bool{}}
+}
+
+// Name implements Protocol.
+func (p *AlohaProtocol) Name() string { return fmt.Sprintf("aloha(p=%.2f)", p.P) }
+
+// FrameLen implements Protocol.
+func (p *AlohaProtocol) FrameLen() int { return 1 }
+
+// Role implements Protocol.
+func (p *AlohaProtocol) Role(node, slot int, wantTx bool) core.Role {
+	if !wantTx {
+		return core.Receive
+	}
+	if slot != p.cacheSlot {
+		p.cacheSlot = slot
+		for k := range p.cache {
+			delete(p.cache, k)
+		}
+	}
+	tx, ok := p.cache[node]
+	if !ok {
+		tx = p.rng.Bool(p.P)
+		p.cache[node] = tx
+	}
+	if tx {
+		return core.Transmit
+	}
+	return core.Receive
+}
+
+// DutyAlohaProtocol is uncoordinated duty-cycled ALOHA (in the spirit of
+// Dousse-Mannersalo-Thiran's uncoordinated power saving): each slot a node
+// with traffic transmits with probability PTx; otherwise it listens with
+// probability PListen and sleeps the rest of the time. Saves energy with
+// no delivery guarantee — the foil for coordinated duty cycling.
+type DutyAlohaProtocol struct {
+	PTx, PListen float64
+	rng          *stats.RNG
+	cacheSlot    int
+	cache        map[int]core.Role
+}
+
+// NewDutyAloha returns an uncoordinated duty-cycled ALOHA protocol.
+func NewDutyAloha(pTx, pListen float64, seed uint64) *DutyAlohaProtocol {
+	if pTx < 0 || pTx > 1 || pListen < 0 || pListen > 1 {
+		panic("sim: duty-ALOHA probabilities out of range")
+	}
+	return &DutyAlohaProtocol{PTx: pTx, PListen: pListen, rng: stats.NewRNG(seed), cacheSlot: -1, cache: map[int]core.Role{}}
+}
+
+// Name implements Protocol.
+func (p *DutyAlohaProtocol) Name() string {
+	return fmt.Sprintf("duty-aloha(tx=%.2f, rx=%.2f)", p.PTx, p.PListen)
+}
+
+// FrameLen implements Protocol.
+func (p *DutyAlohaProtocol) FrameLen() int { return 1 }
+
+// Role implements Protocol.
+func (p *DutyAlohaProtocol) Role(node, slot int, wantTx bool) core.Role {
+	if slot != p.cacheSlot {
+		p.cacheSlot = slot
+		for k := range p.cache {
+			delete(p.cache, k)
+		}
+	}
+	if r, ok := p.cache[node]; ok {
+		if r == core.Transmit && !wantTx {
+			return core.Receive // drew transmit but has nothing: listen
+		}
+		return r
+	}
+	var r core.Role
+	switch {
+	case p.rng.Bool(p.PTx):
+		r = core.Transmit
+	case p.rng.Bool(p.PListen):
+		r = core.Receive
+	default:
+		r = core.Sleep
+	}
+	p.cache[node] = r
+	if r == core.Transmit && !wantTx {
+		return core.Receive
+	}
+	return r
+}

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func TestScheduleProtocolRoles(t *testing.T) {
+	s := tdmaSchedule(t, 4)
+	p := ScheduleProtocol{S: s}
+	if p.FrameLen() != 4 || p.Name() == "" {
+		t.Fatal("metadata wrong")
+	}
+	// Transmit-eligible with traffic: Transmit. Without: Sleep.
+	if p.Role(0, 0, true) != core.Transmit {
+		t.Fatal("eligible sender should transmit")
+	}
+	if p.Role(0, 0, false) != core.Sleep {
+		t.Fatal("eligible sender without traffic should sleep")
+	}
+	if p.Role(1, 0, false) != core.Receive {
+		t.Fatal("scheduled receiver should listen")
+	}
+	// Wraps modulo frame.
+	if p.Role(1, 5, true) != core.Transmit {
+		t.Fatal("frame wrap broken")
+	}
+	// Target awareness.
+	if !p.ShouldTransmit(0, 1, 0) {
+		t.Fatal("0→1 should be allowed in slot 0")
+	}
+	if p.ShouldTransmit(1, 0, 0) {
+		t.Fatal("1 is not scheduled to transmit in slot 0")
+	}
+}
+
+func TestAlohaProtocolBehaviour(t *testing.T) {
+	p := NewAloha(0.5, 3)
+	if p.FrameLen() != 1 {
+		t.Fatal("ALOHA frame should be 1")
+	}
+	// Idle nodes always listen.
+	for v := 0; v < 5; v++ {
+		if p.Role(v, 0, false) != core.Receive {
+			t.Fatal("idle ALOHA node should listen")
+		}
+	}
+	// With traffic, transmit sometimes; repeated queries in a slot agree.
+	tx := 0
+	const slots = 2000
+	for slot := 1; slot <= slots; slot++ {
+		r1 := p.Role(0, slot, true)
+		r2 := p.Role(0, slot, true)
+		if r1 != r2 {
+			t.Fatal("role not stable within a slot")
+		}
+		if r1 == core.Transmit {
+			tx++
+		}
+	}
+	frac := float64(tx) / slots
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("ALOHA transmit fraction %v, want ~0.5", frac)
+	}
+	// Never sleeps.
+	if p.Role(0, 99999, false) == core.Sleep {
+		t.Fatal("ALOHA should never sleep")
+	}
+}
+
+func TestAlohaRejectsBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p=0 accepted")
+		}
+	}()
+	NewAloha(0, 1)
+}
+
+func TestDutyAlohaSleeps(t *testing.T) {
+	p := NewDutyAloha(0.1, 0.3, 9)
+	counts := map[core.Role]int{}
+	const slots = 5000
+	for slot := 0; slot < slots; slot++ {
+		counts[p.Role(0, slot, true)]++
+	}
+	if counts[core.Sleep] == 0 {
+		t.Fatal("duty-ALOHA never slept")
+	}
+	if counts[core.Transmit] == 0 {
+		t.Fatal("duty-ALOHA never transmitted")
+	}
+	frac := float64(counts[core.Transmit]) / slots
+	if frac < 0.05 || frac > 0.15 {
+		t.Fatalf("transmit fraction %v, want ~0.1", frac)
+	}
+}
+
+func TestConvergecastALOHADegradesUnderLoad(t *testing.T) {
+	// ALOHA on a star under heavy load must collide a lot; a TT schedule
+	// delivers everything.
+	g := topology.Star(8)
+	sched := tdmaSchedule(t, 8)
+	cfg := ConvergecastConfig{Sink: 0, Rate: 0.05, Frames: 100, Seed: 5}
+
+	tt, err := RunConvergecast(g, sched, ConvergecastConfig{
+		Sink: 0, Rate: 0.05, Frames: 100 * 1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := RunConvergecastProtocol(g, NewAloha(0.4, 7), ConvergecastConfig{
+		Sink: 0, Rate: cfg.Rate, Frames: 100 * sched.L(), Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Collisions == 0 {
+		t.Fatal("loaded ALOHA star should collide")
+	}
+	if tt.Collisions != 0 {
+		t.Fatalf("TDMA should be collision-free, got %d", tt.Collisions)
+	}
+	if al.Protocol == "" || tt.Protocol == "" {
+		t.Fatal("protocol names missing")
+	}
+}
+
+func TestFloodCompletesWithinEccentricityFrames(t *testing.T) {
+	// The analytic guarantee: a TT schedule floods within ecc frames.
+	for _, tc := range []struct {
+		g   *topology.Graph
+		n   int
+		src int
+	}{
+		{topology.Line(8), 8, 0},
+		{topology.Ring(9), 9, 2},
+		{topology.Grid(3, 3), 9, 0},
+	} {
+		s := tdmaSchedule(t, tc.n)
+		ecc := Eccentricity(tc.g, tc.src)
+		res, err := RunFlood(tc.g, ScheduleProtocol{S: s}, FloodConfig{
+			Source: tc.src, MaxFrames: ecc + 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Covered != tc.n {
+			t.Fatalf("flood covered %d of %d", res.Covered, tc.n)
+		}
+		if res.CompletionSlot < 0 || res.CompletionSlot >= ecc*s.L()+s.L() {
+			t.Fatalf("completion slot %d exceeds ecc %d frames", res.CompletionSlot, ecc)
+		}
+		// First receptions are BFS-monotone: a node at distance k cannot
+		// receive before frame k-1 begins... at minimum after its parent.
+		_, dist := tc.g.BFSTree(tc.src)
+		for v := 0; v < tc.n; v++ {
+			if v == tc.src {
+				continue
+			}
+			if res.FirstReception[v] < dist[v]-1 {
+				t.Fatalf("node %d at distance %d received impossibly early (%d)",
+					v, dist[v], res.FirstReception[v])
+			}
+		}
+	}
+}
+
+func TestFloodIncompleteWhenCutShort(t *testing.T) {
+	// Flooding a TDMA line from node 9 fights the slot order: node k
+	// transmits in slot k, which has already passed by the time the
+	// message arrives from k+1, so the frontier advances exactly one hop
+	// per frame. Two frames therefore cover only {9, 8, 7}.
+	g := topology.Line(10)
+	s := tdmaSchedule(t, 10)
+	res, err := RunFlood(g, ScheduleProtocol{S: s}, FloodConfig{Source: 9, MaxFrames: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionSlot != -1 {
+		t.Fatal("2 frames cannot flood a 9-hop line against the slot order")
+	}
+	if res.Covered != 3 {
+		t.Fatalf("covered = %d, want 3", res.Covered)
+	}
+	// Uncovered nodes report -1; covered ones a slot.
+	for v, fr := range res.FirstReception {
+		covered := v >= 7
+		if covered == (fr == -1) {
+			t.Fatalf("FirstReception inconsistent at %d: %v", v, res.FirstReception)
+		}
+	}
+	// The same flood with the slot order (source 0) completes in frame 0.
+	fast, err := RunFlood(g, ScheduleProtocol{S: s}, FloodConfig{Source: 0, MaxFrames: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.CompletionSlot < 0 || fast.CompletionSlot >= s.L() {
+		t.Fatalf("aligned flood should finish within one frame, got slot %d", fast.CompletionSlot)
+	}
+}
+
+func TestFloodValidation(t *testing.T) {
+	g := topology.Line(4)
+	s := tdmaSchedule(t, 4)
+	if _, err := RunFlood(g, ScheduleProtocol{S: s}, FloodConfig{Source: 7, MaxFrames: 2}); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := RunFlood(g, ScheduleProtocol{S: s}, FloodConfig{Source: 0, MaxFrames: 0}); err == nil {
+		t.Fatal("zero frames accepted")
+	}
+}
+
+func TestFloodALOHAMayCollideOnDenseGraphs(t *testing.T) {
+	// With aggressive p on a dense graph, ALOHA flooding collides; it still
+	// usually completes eventually thanks to randomness.
+	g := topology.Regularish(12, 4)
+	res, err := RunFlood(g, NewAloha(0.6, 3), FloodConfig{Source: 0, MaxFrames: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collisions == 0 {
+		t.Fatal("dense aggressive ALOHA flood should collide")
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	if got := Eccentricity(topology.Line(5), 0); got != 4 {
+		t.Fatalf("line ecc = %d", got)
+	}
+	if got := Eccentricity(topology.Ring(8), 3); got != 4 {
+		t.Fatalf("ring ecc = %d", got)
+	}
+	g := topology.NewGraph(3)
+	g.AddEdge(0, 1)
+	if got := Eccentricity(g, 0); got != -1 {
+		t.Fatalf("disconnected ecc = %d", got)
+	}
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// QuorumProtocol is grid-quorum duty cycling (Tseng-Hsu-Hsieh style), the
+// classic asynchronous power-saving scheme: the frame is a side×side grid
+// of slots and each node stays awake exactly in one row and one column.
+// Any two nodes' awake sets intersect in at least two slots per frame —
+// guaranteed rendezvous — but nothing prevents collisions in those slots,
+// which is precisely what separates quorum duty cycling from the paper's
+// topology-transparent schedules: rendezvous is necessary, collision
+// freedom is what topology transparency adds.
+//
+// Awake slots are Receive by default; a node with traffic transmits in an
+// awake slot with probability P (contention within the quorum overlap).
+type QuorumProtocol struct {
+	// Side is the grid dimension; the frame length is Side².
+	Side int
+	// P is the per-awake-slot transmission probability under backlog.
+	P float64
+	// rows/cols assign each node its quorum.
+	rows, cols []int
+	rng        *stats.RNG
+	cacheSlot  int
+	cache      map[int]bool
+}
+
+// NewQuorum builds a quorum protocol for n nodes over a side×side grid
+// frame. Node v gets row v mod side and column (v / side) mod side, so
+// assignments spread deterministically.
+func NewQuorum(n, side int, p float64, seed uint64) (*QuorumProtocol, error) {
+	if n < 1 || side < 2 {
+		return nil, fmt.Errorf("sim: NewQuorum(n=%d, side=%d)", n, side)
+	}
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("sim: quorum transmission probability %v out of (0, 1]", p)
+	}
+	q := &QuorumProtocol{
+		Side: side, P: p,
+		rows: make([]int, n), cols: make([]int, n),
+		rng: stats.NewRNG(seed), cacheSlot: -1, cache: map[int]bool{},
+	}
+	for v := 0; v < n; v++ {
+		q.rows[v] = v % side
+		q.cols[v] = (v / side) % side
+	}
+	return q, nil
+}
+
+// Name implements Protocol.
+func (q *QuorumProtocol) Name() string { return fmt.Sprintf("quorum(%dx%d)", q.Side, q.Side) }
+
+// FrameLen implements Protocol.
+func (q *QuorumProtocol) FrameLen() int { return q.Side * q.Side }
+
+// Awake reports whether node v is awake in frame slot i (i taken modulo
+// the frame).
+func (q *QuorumProtocol) Awake(v, slot int) bool {
+	i := slot % (q.Side * q.Side)
+	return i/q.Side == q.rows[v] || i%q.Side == q.cols[v]
+}
+
+// Role implements Protocol.
+func (q *QuorumProtocol) Role(node, slot int, wantTx bool) core.Role {
+	if !q.Awake(node, slot) {
+		return core.Sleep
+	}
+	if !wantTx {
+		return core.Receive
+	}
+	if slot != q.cacheSlot {
+		q.cacheSlot = slot
+		for k := range q.cache {
+			delete(q.cache, k)
+		}
+	}
+	tx, ok := q.cache[node]
+	if !ok {
+		tx = q.rng.Bool(q.P)
+		q.cache[node] = tx
+	}
+	if tx {
+		return core.Transmit
+	}
+	return core.Receive
+}
+
+// OverlapSlots returns the frame slots in which both u and v are awake —
+// at least two for any pair, the quorum rendezvous guarantee.
+func (q *QuorumProtocol) OverlapSlots(u, v int) []int {
+	var out []int
+	L := q.Side * q.Side
+	for i := 0; i < L; i++ {
+		if q.Awake(u, i) && q.Awake(v, i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func TestQuorumRendezvousGuarantee(t *testing.T) {
+	// Any two nodes share at least two awake slots per frame (row/column
+	// intersections).
+	q, err := NewQuorum(20, 5, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 20; u++ {
+		for v := 0; v < 20; v++ {
+			if u == v {
+				continue
+			}
+			if got := len(q.OverlapSlots(u, v)); got < 2 {
+				t.Fatalf("nodes %d,%d overlap in %d slots", u, v, got)
+			}
+		}
+	}
+}
+
+func TestQuorumDutyCycle(t *testing.T) {
+	// Awake fraction per node is (2·side - 1)/side².
+	q, err := NewQuorum(10, 5, 0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	L := q.FrameLen()
+	for v := 0; v < 10; v++ {
+		awake := 0
+		for i := 0; i < L; i++ {
+			if q.Awake(v, i) {
+				awake++
+			}
+		}
+		if awake != 2*5-1 {
+			t.Fatalf("node %d awake %d slots, want 9", v, awake)
+		}
+	}
+	// Roles: asleep outside the quorum; never transmit without traffic.
+	for i := 0; i < L; i++ {
+		for v := 0; v < 10; v++ {
+			r := q.Role(v, i, false)
+			if q.Awake(v, i) && r != core.Receive {
+				t.Fatalf("awake idle node should listen, got %v", r)
+			}
+			if !q.Awake(v, i) && r != core.Sleep {
+				t.Fatalf("sleeping node role %v", r)
+			}
+		}
+	}
+}
+
+func TestQuorumValidation(t *testing.T) {
+	if _, err := NewQuorum(0, 5, 0.3, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewQuorum(5, 1, 0.3, 1); err == nil {
+		t.Fatal("side=1 accepted")
+	}
+	if _, err := NewQuorum(5, 3, 0, 1); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+func TestQuorumRendezvousWithoutCollisionFreedom(t *testing.T) {
+	// The point of the comparison: quorum discovery eventually hears
+	// neighbours (rendezvous) but has no one-frame guarantee, and it
+	// collides where the TT schedule cannot.
+	g := topology.Regularish(16, 3)
+	s := polySchedule(t, 16, 3)
+	tt, err := RunDiscovery(g, ScheduleProtocol{S: s}, 1, DefaultEnergy(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.DiscoveredLinks != tt.TotalLinks {
+		t.Fatal("TT discovery must finish in one frame")
+	}
+	q, err := NewQuorum(16, 5, 0.4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := RunDiscovery(g, q, 1, DefaultEnergy(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.DiscoveredLinks == one.TotalLinks {
+		t.Log("quorum finished in one frame (lucky); the guarantee difference still holds by construction")
+	}
+	if one.Collisions == 0 {
+		// With p=0.4 and everyone beaconing in overlapping quorums,
+		// collisions are essentially certain on a regular graph.
+		t.Fatal("quorum beaconing should collide")
+	}
+	// Given many frames, quorum eventually discovers (rendezvous + luck).
+	many, err := RunDiscovery(g, q, 60, DefaultEnergy(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.DiscoveredLinks != many.TotalLinks {
+		t.Fatalf("quorum discovery incomplete after 60 frames: %d/%d",
+			many.DiscoveredLinks, many.TotalLinks)
+	}
+}
+
+func TestQuorumEnergyBelowAlwaysOn(t *testing.T) {
+	g := topology.Ring(9)
+	q, err := NewQuorum(9, 3, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunConvergecastProtocol(g, q, ConvergecastConfig{
+		Sink: 0, Rate: 0.01, Frames: 300, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Awake fraction ~ (2·3-1)/9 = 5/9 plus tx; must be well below 1.
+	if res.ActiveFraction >= 0.75 {
+		t.Fatalf("quorum active fraction %v too high", res.ActiveFraction)
+	}
+}

@@ -1,0 +1,75 @@
+package tablewriter
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteText(t *testing.T) {
+	tab := New("Demo", "n", "D", "thr")
+	tab.AddRow(9, 2, 0.123456789)
+	tab.AddRow(100, 3, "1/4")
+	var b strings.Builder
+	if err := tab.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Demo", "n", "thr", "0.123457", "1/4", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+}
+
+func TestShortRowPadded(t *testing.T) {
+	tab := New("", "a", "b", "c")
+	tab.AddRow(1)
+	var b strings.Builder
+	if err := tab.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := New("ignored", "name", "value")
+	tab.AddRow("plain", 1)
+	tab.AddRow(`with"quote`, "a,b")
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "name,value\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, `"with""quote"`) {
+		t.Fatalf("quote escaping wrong: %q", out)
+	}
+	if !strings.Contains(out, `"a,b"`) {
+		t.Fatalf("comma quoting wrong: %q", out)
+	}
+}
+
+func TestStringerCell(t *testing.T) {
+	tab := New("", "x")
+	tab.AddRow(strings.NewReplacer()) // not a Stringer; uses %v
+	tab.AddRow(testStringer{})
+	var b strings.Builder
+	if err := tab.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "STR") {
+		t.Fatal("Stringer not used")
+	}
+}
+
+type testStringer struct{}
+
+func (testStringer) String() string { return "STR" }

@@ -1,0 +1,136 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Additional deployment shapes used by the experiments: preferential-
+// attachment networks with a degree cap (hub-heavy), two-community
+// topologies joined by a thin bridge (a convergecast bottleneck), and
+// corridor deployments (long thin strips, the pipeline/tunnel-monitoring
+// scenario).
+
+// ScaleFreeBounded grows a preferential-attachment (Barabási-Albert style)
+// graph with every degree capped at maxDeg: each new node attaches to m
+// existing nodes chosen with probability proportional to current degree,
+// skipping saturated targets. The result is connected and hub-heavy —
+// the adversarial case for degree-bounded schedule classes, since hubs sit
+// at the cap. m must be >= 1 and maxDeg > m.
+func ScaleFreeBounded(n, m, maxDeg int, rng *stats.RNG) *Graph {
+	if n < 2 || m < 1 || maxDeg <= m {
+		panic(fmt.Sprintf("topology: ScaleFreeBounded(%d, %d, %d)", n, m, maxDeg))
+	}
+	g := NewGraph(n)
+	// Seed: a small clique-ish core of m+1 nodes.
+	for i := 0; i <= m && i < n; i++ {
+		for j := 0; j < i; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	// Degree-proportional attachment via a repeated-endpoint list.
+	var endpoints []int
+	for _, e := range g.Edges() {
+		endpoints = append(endpoints, e[0], e[1])
+	}
+	for v := m + 1; v < n; v++ {
+		attached := 0
+		for tries := 0; attached < m && tries < 200; tries++ {
+			var u int
+			if len(endpoints) == 0 {
+				u = rng.Intn(v)
+			} else {
+				u = endpoints[rng.Intn(len(endpoints))]
+			}
+			if u == v || g.HasEdge(u, v) || g.Degree(u) >= maxDeg || g.Degree(v) >= maxDeg {
+				continue
+			}
+			g.AddEdge(u, v)
+			endpoints = append(endpoints, u, v)
+			attached++
+		}
+		if attached == 0 {
+			// Fall back to any unsaturated node so the graph stays
+			// connected.
+			for u := 0; u < v; u++ {
+				if g.Degree(u) < maxDeg {
+					g.AddEdge(u, v)
+					endpoints = append(endpoints, u, v)
+					break
+				}
+			}
+		}
+	}
+	return g
+}
+
+// TwoCommunities builds two dense random communities of the given sizes
+// joined by exactly `bridges` edges — the classic convergecast bottleneck:
+// all cross-community traffic squeezes through the bridge links. Degrees
+// stay at most maxDeg.
+func TwoCommunities(sizeA, sizeB, bridges, maxDeg int, rng *stats.RNG) *Graph {
+	if sizeA < 2 || sizeB < 2 || bridges < 1 || maxDeg < 2 {
+		panic(fmt.Sprintf("topology: TwoCommunities(%d, %d, %d, %d)", sizeA, sizeB, bridges, maxDeg))
+	}
+	n := sizeA + sizeB
+	g := NewGraph(n)
+	build := func(lo, hi int) {
+		// Random connected community: spanning chain + extra edges.
+		perm := rng.Perm(hi - lo)
+		for i := 0; i+1 < len(perm); i++ {
+			g.AddEdge(lo+perm[i], lo+perm[i+1])
+		}
+		extra := (hi - lo)
+		for e := 0; e < extra; e++ {
+			u := lo + rng.Intn(hi-lo)
+			v := lo + rng.Intn(hi-lo)
+			if u != v && !g.HasEdge(u, v) && g.Degree(u) < maxDeg-1 && g.Degree(v) < maxDeg-1 {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	build(0, sizeA)
+	build(sizeA, n)
+	added := 0
+	for tries := 0; added < bridges && tries < 100*bridges; tries++ {
+		u := rng.Intn(sizeA)
+		v := sizeA + rng.Intn(sizeB)
+		if !g.HasEdge(u, v) && g.Degree(u) < maxDeg && g.Degree(v) < maxDeg {
+			g.AddEdge(u, v)
+			added++
+		}
+	}
+	if added == 0 {
+		// Guarantee connectivity even in pathological random draws.
+		g.AddEdge(0, sizeA)
+	}
+	return g
+}
+
+// Corridor builds a rows×length strip where each node connects to
+// neighbours within the same and adjacent columns — the tunnel/pipeline
+// monitoring deployment: long diameter, small cross-section. Node (r, c)
+// has index c*rows + r.
+func Corridor(rows, length int) *Graph {
+	if rows < 1 || length < 2 {
+		panic(fmt.Sprintf("topology: Corridor(%d, %d)", rows, length))
+	}
+	g := NewGraph(rows * length)
+	id := func(r, c int) int { return c*rows + r }
+	for c := 0; c < length; c++ {
+		for r := 0; r < rows; r++ {
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+			if c+1 < length {
+				g.AddEdge(id(r, c), id(r, c+1))
+				if r+1 < rows {
+					g.AddEdge(id(r, c), id(r+1, c+1))
+					g.AddEdge(id(r+1, c), id(r, c+1))
+				}
+			}
+		}
+	}
+	return g
+}

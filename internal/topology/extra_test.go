@@ -1,0 +1,99 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestScaleFreeBounded(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 10 + rng.Intn(40)
+		m := 1 + rng.Intn(2)
+		maxDeg := m + 2 + rng.Intn(5)
+		g := ScaleFreeBounded(n, m, maxDeg, rng)
+		if g.MaxDegree() > maxDeg {
+			return false
+		}
+		return g.IsConnected()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleFreeIsHubHeavy(t *testing.T) {
+	rng := stats.NewRNG(5)
+	g := ScaleFreeBounded(60, 1, 10, rng)
+	// Preferential attachment should produce at least one node far above
+	// the mean degree.
+	mean := float64(2*g.EdgeCount()) / float64(g.N())
+	if float64(g.MaxDegree()) < 2*mean {
+		t.Fatalf("max degree %d not hub-like vs mean %.1f", g.MaxDegree(), mean)
+	}
+}
+
+func TestScaleFreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("maxDeg <= m accepted")
+		}
+	}()
+	ScaleFreeBounded(10, 2, 2, stats.NewRNG(1))
+}
+
+func TestTwoCommunities(t *testing.T) {
+	rng := stats.NewRNG(3)
+	g := TwoCommunities(12, 10, 2, 6, rng)
+	if g.N() != 22 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if !g.IsConnected() {
+		t.Fatal("communities not connected")
+	}
+	if g.MaxDegree() > 6 {
+		t.Fatalf("degree cap violated: %d", g.MaxDegree())
+	}
+	// Cross edges are few: count them.
+	cross := 0
+	for _, e := range g.Edges() {
+		if (e[0] < 12) != (e[1] < 12) {
+			cross++
+		}
+	}
+	if cross < 1 || cross > 4 {
+		t.Fatalf("cross edges = %d, want a thin bridge", cross)
+	}
+}
+
+func TestCorridor(t *testing.T) {
+	g := Corridor(2, 10)
+	if g.N() != 20 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if !g.IsConnected() {
+		t.Fatal("corridor disconnected")
+	}
+	// Long and thin: diameter from one end is close to length.
+	_, dist := g.BFSTree(0)
+	maxD := 0
+	for _, d := range dist {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if maxD < 8 {
+		t.Fatalf("corridor diameter %d too small", maxD)
+	}
+	// Degree bounded by the cross-section geometry (<= 7 for rows=2).
+	if g.MaxDegree() > 7 {
+		t.Fatalf("max degree %d", g.MaxDegree())
+	}
+	// Single-row corridor degenerates to a line.
+	line := Corridor(1, 5)
+	if line.EdgeCount() != 4 || line.MaxDegree() != 2 {
+		t.Fatal("1-row corridor should be a path")
+	}
+}

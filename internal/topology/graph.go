@@ -1,0 +1,181 @@
+// Package topology provides the network-graph substrate for the simulator:
+// an undirected graph type, deterministic and random generators matching
+// the workloads a WSN paper assumes (rings, grids, unit-disk deployments,
+// degree-bounded random networks), breadth-first routing trees, and a
+// simple topology-churn model used to demonstrate topology transparency.
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/stats"
+)
+
+// Graph is a simple undirected graph over nodes {0..n-1}. The zero value is
+// unusable; create with NewGraph.
+type Graph struct {
+	n   int
+	adj []*bitset.Set
+}
+
+// NewGraph returns an empty graph on n nodes.
+func NewGraph(n int) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("topology: NewGraph(%d)", n))
+	}
+	g := &Graph{n: n, adj: make([]*bitset.Set, n)}
+	for i := range g.adj {
+		g.adj[i] = bitset.New(n)
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops are rejected.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		panic(fmt.Sprintf("topology: self-loop at %d", u))
+	}
+	g.adj[u].Add(v)
+	g.adj[v].Add(u)
+}
+
+// RemoveEdge deletes the undirected edge {u, v} if present.
+func (g *Graph) RemoveEdge(u, v int) {
+	g.adj[u].Remove(v)
+	g.adj[v].Remove(u)
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool { return g.adj[u].Contains(v) }
+
+// Degree returns the degree of node x.
+func (g *Graph) Degree(x int) int { return g.adj[x].Count() }
+
+// MaxDegree returns the largest degree in the graph.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for _, a := range g.adj {
+		if c := a.Count(); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Neighbors returns the neighbours of x in increasing order.
+func (g *Graph) Neighbors(x int) []int { return g.adj[x].Elements() }
+
+// NeighborSet returns the neighbour bitset of x; the caller must not
+// modify it.
+func (g *Graph) NeighborSet(x int) *bitset.Set { return g.adj[x] }
+
+// Edges returns all edges as ordered pairs (u < v).
+func (g *Graph) Edges() [][2]int {
+	var out [][2]int
+	for u := 0; u < g.n; u++ {
+		g.adj[u].ForEach(func(v int) bool {
+			if v > u {
+				out = append(out, [2]int{u, v})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, a := range g.adj {
+		total += a.Count()
+	}
+	return total / 2
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.n)
+	for i := range g.adj {
+		c.adj[i] = g.adj[i].Clone()
+	}
+	return c
+}
+
+// IsConnected reports whether the graph is connected (true for n == 1).
+func (g *Graph) IsConnected() bool {
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		g.adj[u].ForEach(func(v int) bool {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+			return true
+		})
+	}
+	return count == g.n
+}
+
+// BFSTree returns, for each node, its parent on a breadth-first tree rooted
+// at root (parent[root] == root) and its hop distance from root. Nodes
+// unreachable from root get parent -1 and distance -1.
+func (g *Graph) BFSTree(root int) (parent, dist []int) {
+	parent = make([]int, g.n)
+	dist = make([]int, g.n)
+	for i := range parent {
+		parent[i] = -1
+		dist[i] = -1
+	}
+	parent[root] = root
+	dist[root] = 0
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		g.adj[u].ForEach(func(v int) bool {
+			if parent[v] == -1 {
+				parent[v] = u
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+			return true
+		})
+	}
+	return parent, dist
+}
+
+// EnforceMaxDegree removes edges (highest-degree endpoints first) until no
+// node exceeds degree d. Removal order is deterministic given the RNG. The
+// graph may become disconnected; callers that need connectivity should
+// check IsConnected afterwards.
+func (g *Graph) EnforceMaxDegree(d int, rng *stats.RNG) {
+	if d < 0 {
+		panic("topology: negative degree bound")
+	}
+	for x := 0; x < g.n; x++ {
+		for g.Degree(x) > d {
+			// Drop the edge to the neighbour with the highest degree,
+			// breaking ties randomly, so the trimming spreads.
+			nbrs := g.Neighbors(x)
+			best := nbrs[0]
+			bestDeg := g.Degree(best)
+			for _, v := range nbrs[1:] {
+				dv := g.Degree(v)
+				if dv > bestDeg || (dv == bestDeg && rng.Bool(0.5)) {
+					best, bestDeg = v, dv
+				}
+			}
+			g.RemoveEdge(x, best)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package trace provides slot-level event tracing for the simulator: what
+// transmitted, what was delivered, where collisions and drops happened.
+// Workloads accept an optional Tracer; implementations here cover the
+// common needs — a bounded ring buffer for post-mortem inspection, an
+// aggregating counter, and a line writer for live debugging.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+const (
+	// Generate: a node created a packet.
+	Generate Kind = iota
+	// Transmit: a node spent a slot transmitting.
+	Transmit
+	// Deliver: a receiver decoded a packet from Node (Peer = receiver).
+	Deliver
+	// Collision: two or more neighbours of Peer transmitted simultaneously.
+	Collision
+	// Drop: a packet was discarded (queue overflow).
+	Drop
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Generate:
+		return "generate"
+	case Transmit:
+		return "transmit"
+	case Deliver:
+		return "deliver"
+	case Collision:
+		return "collision"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one simulator occurrence. Node is the acting node (sender,
+// generator, dropper); Peer is the counterparty where one exists (the
+// receiver for Deliver/Collision), else -1.
+type Event struct {
+	Slot int
+	Kind Kind
+	Node int
+	Peer int
+}
+
+func (e Event) String() string {
+	if e.Peer >= 0 {
+		return fmt.Sprintf("slot %d: %s node %d ↔ %d", e.Slot, e.Kind, e.Node, e.Peer)
+	}
+	return fmt.Sprintf("slot %d: %s node %d", e.Slot, e.Kind, e.Node)
+}
+
+// Tracer consumes events. Implementations must tolerate high rates; the
+// simulator calls Record inline.
+type Tracer interface {
+	Record(e Event)
+}
+
+// Ring keeps the most recent Cap events. Safe for concurrent use.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	full  bool
+	total int
+}
+
+// NewRing returns a ring tracer holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		panic("trace: ring capacity < 1")
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record implements Tracer.
+func (r *Ring) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	if r.next == 0 {
+		r.full = true
+	}
+	r.total++
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns the number of events ever recorded (including evicted).
+func (r *Ring) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Counter aggregates per-kind event counts. Safe for concurrent use.
+type Counter struct {
+	mu     sync.Mutex
+	counts map[Kind]int
+}
+
+// NewCounter returns an aggregating tracer.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[Kind]int)}
+}
+
+// Record implements Tracer.
+func (c *Counter) Record(e Event) {
+	c.mu.Lock()
+	c.counts[e.Kind]++
+	c.mu.Unlock()
+}
+
+// Count returns the number of events of kind k.
+func (c *Counter) Count(k Kind) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[k]
+}
+
+// Writer streams formatted event lines to an io.Writer, optionally
+// filtered to a slot window and a kind subset. Not safe for concurrent
+// writers underneath; intended for debugging runs.
+type Writer struct {
+	W io.Writer
+	// FromSlot/ToSlot bound the window (ToSlot 0 = unbounded).
+	FromSlot, ToSlot int
+	// Kinds limits output; empty = all kinds.
+	Kinds []Kind
+}
+
+// Record implements Tracer.
+func (w *Writer) Record(e Event) {
+	if e.Slot < w.FromSlot || (w.ToSlot > 0 && e.Slot > w.ToSlot) {
+		return
+	}
+	if len(w.Kinds) > 0 {
+		ok := false
+		for _, k := range w.Kinds {
+			if k == e.Kind {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return
+		}
+	}
+	fmt.Fprintln(w.W, e.String())
+}
+
+// Multi fans events out to several tracers.
+type Multi []Tracer
+
+// Record implements Tracer.
+func (m Multi) Record(e Event) {
+	for _, t := range m {
+		t.Record(e)
+	}
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Generate: "generate", Transmit: "transmit", Deliver: "deliver",
+		Collision: "collision", Drop: "drop",
+	} {
+		if k.String() != want {
+			t.Fatalf("%v", k)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Slot: 3, Kind: Deliver, Node: 1, Peer: 2}
+	if !strings.Contains(e.String(), "deliver") || !strings.Contains(e.String(), "slot 3") {
+		t.Fatalf("String = %q", e.String())
+	}
+	solo := Event{Slot: 0, Kind: Generate, Node: 4, Peer: -1}
+	if strings.Contains(solo.String(), "↔") {
+		t.Fatalf("peerless event shows a peer: %q", solo.String())
+	}
+}
+
+func TestRingRetention(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Slot: i, Kind: Transmit, Node: i, Peer: -1})
+	}
+	evts := r.Events()
+	if len(evts) != 3 {
+		t.Fatalf("retained %d", len(evts))
+	}
+	// Oldest first: slots 2, 3, 4.
+	for i, e := range evts {
+		if e.Slot != i+2 {
+			t.Fatalf("events = %v", evts)
+		}
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	// Partial fill.
+	r2 := NewRing(10)
+	r2.Record(Event{Slot: 7})
+	if got := r2.Events(); len(got) != 1 || got[0].Slot != 7 {
+		t.Fatalf("partial ring = %v", got)
+	}
+}
+
+func TestRingPanicsOnZeroCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity accepted")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Record(Event{Kind: Deliver})
+	c.Record(Event{Kind: Deliver})
+	c.Record(Event{Kind: Collision})
+	if c.Count(Deliver) != 2 || c.Count(Collision) != 1 || c.Count(Drop) != 0 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestWriterFiltering(t *testing.T) {
+	var b strings.Builder
+	w := &Writer{W: &b, FromSlot: 5, ToSlot: 10, Kinds: []Kind{Collision}}
+	w.Record(Event{Slot: 3, Kind: Collision})  // before window
+	w.Record(Event{Slot: 7, Kind: Deliver})    // wrong kind
+	w.Record(Event{Slot: 7, Kind: Collision})  // match
+	w.Record(Event{Slot: 11, Kind: Collision}) // after window
+	out := b.String()
+	if strings.Count(out, "\n") != 1 || !strings.Contains(out, "slot 7") {
+		t.Fatalf("writer output = %q", out)
+	}
+	// Unbounded window, all kinds.
+	b.Reset()
+	w2 := &Writer{W: &b}
+	w2.Record(Event{Slot: 100, Kind: Drop})
+	if !strings.Contains(b.String(), "drop") {
+		t.Fatal("unfiltered writer dropped event")
+	}
+}
+
+func TestMulti(t *testing.T) {
+	a, b := NewCounter(), NewCounter()
+	m := Multi{a, b}
+	m.Record(Event{Kind: Transmit})
+	if a.Count(Transmit) != 1 || b.Count(Transmit) != 1 {
+		t.Fatal("multi did not fan out")
+	}
+}

@@ -1,0 +1,50 @@
+package ttdc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// scheduleJSON is the on-disk form of a schedule: per-slot transmitter and
+// receiver node lists.
+type scheduleJSON struct {
+	N int     `json:"n"`
+	T [][]int `json:"t"`
+	R [][]int `json:"r"`
+}
+
+// EncodeSchedule writes s to w as JSON ({"n":..., "t":[[...]], "r":[[...]]}).
+func EncodeSchedule(w io.Writer, s *Schedule) error {
+	out := scheduleJSON{N: s.N(), T: make([][]int, s.L()), R: make([][]int, s.L())}
+	for i := 0; i < s.L(); i++ {
+		out.T[i] = s.T(i).Elements()
+		out.R[i] = s.R(i).Elements()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// maxDecodedDimension bounds n and L when decoding untrusted input, so a
+// hostile document cannot force pathological allocations.
+const maxDecodedDimension = 1 << 20
+
+// DecodeSchedule reads a schedule previously written by EncodeSchedule.
+func DecodeSchedule(r io.Reader) (*Schedule, error) {
+	var in scheduleJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("ttdc: decode schedule: %w", err)
+	}
+	if in.N < 1 || in.N > maxDecodedDimension {
+		return nil, fmt.Errorf("ttdc: decoded n = %d outside [1, %d]", in.N, maxDecodedDimension)
+	}
+	if len(in.T) > maxDecodedDimension {
+		return nil, fmt.Errorf("ttdc: decoded frame length %d exceeds %d", len(in.T), maxDecodedDimension)
+	}
+	s, err := NewSchedule(in.N, in.T, in.R)
+	if err != nil {
+		return nil, fmt.Errorf("ttdc: decoded schedule invalid: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,43 @@
+package ttdc_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	ttdc "repro"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	orig, err := ttdc.PolynomialSchedule(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ttdc.EncodeSchedule(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ttdc.DecodeSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != orig.N() || got.L() != orig.L() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d", got.N(), got.L(), orig.N(), orig.L())
+	}
+	for i := 0; i < orig.L(); i++ {
+		if !got.T(i).Equal(orig.T(i)) || !got.R(i).Equal(orig.R(i)) {
+			t.Fatalf("slot %d changed", i)
+		}
+	}
+}
+
+func TestDecodeScheduleErrors(t *testing.T) {
+	if _, err := ttdc.DecodeSchedule(strings.NewReader("{not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	// Valid JSON, invalid schedule (overlapping T/R in a slot).
+	bad := `{"n":3,"t":[[0,1]],"r":[[1,2]]}`
+	if _, err := ttdc.DecodeSchedule(strings.NewReader(bad)); err == nil {
+		t.Fatal("invalid schedule accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package ttdc
+
+import (
+	"fmt"
+
+	"repro/internal/cff"
+	"repro/internal/core"
+	"repro/internal/plan"
+)
+
+// Requirements captures an application's needs for PlanBest; see
+// internal/plan.Requirements.
+type Requirements = plan.Requirements
+
+// Plan is a planned schedule with its projected figures of merit.
+type Plan = plan.Plan
+
+// PlanBest searches the construction space — base cover-free family ×
+// (αT, αR) caps — and returns the feasible schedule with the longest
+// projected battery lifetime, subject to the latency/lifetime/throughput
+// constraints in req. It makes the paper's "αT and αR capture applications'
+// requirements" mapping executable.
+func PlanBest(req Requirements) (*Plan, error) { return plan.Best(req) }
+
+// Schedule transformations (node relabeling, frame phase, composition) and
+// the randomized cover-free search. All transformations document which
+// guarantees they preserve; see the corresponding functions in package
+// core.
+
+// PermuteNodes relabels node identities by perm (a permutation of [0, n)).
+// Topology transparency and every throughput figure are invariant.
+func PermuteNodes(s *Schedule, perm []int) (*Schedule, error) {
+	return core.PermuteNodes(s, perm)
+}
+
+// RotateSlots shifts the frame so the input's slot k becomes slot 0. All
+// analysis quantities are invariant.
+func RotateSlots(s *Schedule, k int) *Schedule { return core.RotateSlots(s, k) }
+
+// Concat plays a's frame then b's frame. If either input is
+// topology-transparent for N(n, D), so is the result; the average
+// throughput is the length-weighted mean.
+func Concat(a, b *Schedule) (*Schedule, error) { return core.Concat(a, b) }
+
+// Repeat plays s's frame k times per combined frame; all analysis
+// quantities are invariant.
+func Repeat(s *Schedule, k int) (*Schedule, error) { return core.Repeat(s, k) }
+
+// Restrict keeps only nodes [0, m); a TT schedule for N(n, D) restricts to
+// a TT schedule for N(m, D) (for m > D).
+func Restrict(s *Schedule, m int) (*Schedule, error) { return core.Restrict(s, m) }
+
+// SearchSchedule builds a topology-transparent non-sleeping schedule for
+// N(n, D) with frame length exactly l, found by randomized local repair
+// over cover-free families. Unlike the algebraic constructions it can hit
+// frame lengths between the quantized construction sizes; it returns an
+// error when the search budget is exhausted (which does not prove
+// impossibility).
+func SearchSchedule(n, d, l int, seed uint64) (*Schedule, error) {
+	fam, err := cff.Search(cff.SearchOptions{N: n, D: d, L: l, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return core.ScheduleFromFamily(fam.L, fam.Sets)
+}
+
+// ShortestSearchedSchedule scans frame lengths downward from hi to lo and
+// returns the topology-transparent non-sleeping schedule with the shortest
+// frame the randomized search can certify.
+func ShortestSearchedSchedule(n, d, lo, hi int, seed uint64) (*Schedule, error) {
+	fam, err := cff.FindShortest(n, d, lo, hi, seed)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.ScheduleFromFamily(fam.L, fam.Sets)
+	if err != nil {
+		return nil, fmt.Errorf("ttdc: searched family invalid: %w", err)
+	}
+	return s, nil
+}

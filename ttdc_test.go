@@ -1,0 +1,180 @@
+package ttdc_test
+
+import (
+	"math/big"
+	"testing"
+
+	ttdc "repro"
+)
+
+// TestEndToEndPipeline walks the full library surface: construct a TT
+// non-sleeping schedule, duty-cycle it, verify requirements, compare
+// analysis against bounds, and run both simulator workloads on a concrete
+// topology.
+func TestEndToEndPipeline(t *testing.T) {
+	const n, d = 25, 2
+	ns, err := ttdc.PolynomialSchedule(n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ns.IsNonSleeping() {
+		t.Fatal("polynomial schedule should be non-sleeping")
+	}
+	if w := ttdc.CheckRequirement1(ns, d); w != nil {
+		t.Fatalf("non-sleeping schedule violates Req1: %v", w)
+	}
+
+	duty, err := ttdc.Construct(ns, ttdc.ConstructOptions{AlphaT: 3, AlphaR: 5, D: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !duty.IsAlphaSchedule(3, 5) {
+		t.Fatal("construct violated the caps")
+	}
+	if !ttdc.IsTopologyTransparent(duty, d) {
+		t.Fatal("constructed schedule lost topology transparency")
+	}
+	if duty.ActiveFraction() >= ns.ActiveFraction() {
+		t.Fatal("duty cycling did not reduce the active fraction")
+	}
+
+	// Analysis stack.
+	avg := ttdc.AvgThroughput(duty, d)
+	if avg.Cmp(ttdc.CappedThroughputBound(n, d, 3, 5)) > 0 {
+		t.Fatal("average throughput above the Theorem 4 bound")
+	}
+	if avg.Cmp(ttdc.GeneralThroughputBound(n, d)) > 0 {
+		t.Fatal("average throughput above the Theorem 3 bound")
+	}
+	minThr := ttdc.MinThroughput(duty, d)
+	if minThr.Sign() <= 0 {
+		t.Fatal("TT schedule must have positive minimum throughput")
+	}
+	if minThr.Cmp(ttdc.Theorem9Bound(ns, d, 3, 5)) < 0 {
+		t.Fatal("minimum throughput below the Theorem 9 bound")
+	}
+	ratio := ttdc.OptimalityRatio(duty, d, 3, 5)
+	if ratio.Cmp(ttdc.Theorem8LowerBound(ns, d, 3, 5)) < 0 {
+		t.Fatal("optimality ratio below the Theorem 8 bound")
+	}
+
+	// Simulation on a worst-case topology inside the class.
+	g := ttdc.Regularish(n, d)
+	sat, err := ttdc.RunSaturation(g, duty, 2, ttdc.DefaultEnergy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat.MinLinkPerFrame < 1 {
+		t.Fatalf("a link starved under a TT schedule: %v", sat.MinLinkPerFrame)
+	}
+
+	// Convergecast on a random in-class network.
+	rng := ttdc.NewRNG(42)
+	net := ttdc.RandomBoundedDegree(n, d, 3, rng)
+	cc, err := ttdc.RunConvergecast(net, duty, ttdc.ConvergecastConfig{
+		Sink: 0, Rate: 0.002, Frames: 60, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Generated > 0 && cc.Delivered == 0 {
+		t.Fatal("convergecast delivered nothing")
+	}
+}
+
+func TestTDMAFacade(t *testing.T) {
+	s, err := ttdc.TDMA(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.L() != 8 || s.N() != 8 {
+		t.Fatalf("TDMA shape %d/%d", s.N(), s.L())
+	}
+	if !ttdc.IsTopologyTransparent(s, 7) {
+		t.Fatal("TDMA should be TT for D = n-1")
+	}
+	if got := ttdc.AvgThroughput(s, 3); got.Cmp(big.NewRat(1, 8)) != 0 {
+		t.Fatalf("TDMA throughput %s, want 1/8", got)
+	}
+}
+
+func TestSteinerFacade(t *testing.T) {
+	s, err := ttdc.SteinerSchedule(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ttdc.IsTopologyTransparent(s, 2) {
+		t.Fatal("Steiner schedule should be TT for D=2")
+	}
+	// Steiner frames are dramatically shorter than TDMA for the same n.
+	if s.L() >= 12 {
+		t.Fatalf("Steiner frame %d not shorter than TDMA's 12", s.L())
+	}
+}
+
+func TestScheduleFromSlotSets(t *testing.T) {
+	// Hand-rolled TDMA via slot sets.
+	sets := [][]int{{0}, {1}, {2}}
+	s, err := ttdc.ScheduleFromSlotSets(3, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ttdc.IsTopologyTransparent(s, 2) {
+		t.Fatal("slot-set TDMA should be TT")
+	}
+	if _, err := ttdc.ScheduleFromSlotSets(3, [][]int{{5}}); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+}
+
+func TestBaselinesFacade(t *testing.T) {
+	g := ttdc.Grid(3, 3)
+	col, err := ttdc.ColoringTDMA(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.L() >= g.N() {
+		t.Fatal("coloring should beat plain TDMA on a grid")
+	}
+	rng := ttdc.NewRNG(1)
+	rd, err := ttdc.RandomDutyCycle(9, 18, 0.2, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.ActiveFraction() >= 1 {
+		t.Fatal("random duty cycle should sleep")
+	}
+	ns, err := ttdc.PolynomialSchedule(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, err := ttdc.Symmetric(ns, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sym.IsAlphaSchedule(3, 3) {
+		t.Fatal("symmetric caps violated")
+	}
+}
+
+func TestGuaranteedPerLinkFacade(t *testing.T) {
+	g := ttdc.Ring(6)
+	s, err := ttdc.TDMA(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := ttdc.GuaranteedPerLink(g, s)
+	for u := 0; u < 6; u++ {
+		for _, v := range g.Neighbors(u) {
+			if per[u][v] != 1 {
+				t.Fatalf("link %d→%d guarantees %d, want 1", u, v, per[u][v])
+			}
+		}
+	}
+}
+
+func TestRatFloat(t *testing.T) {
+	if got := ttdc.RatFloat(big.NewRat(1, 4)); got != 0.25 {
+		t.Fatalf("RatFloat = %v", got)
+	}
+}
