@@ -1,0 +1,36 @@
+# Verification targets for the ttdc reproduction. `make check` is the
+# tier-1 gate: vet + build + full test suite + race detector over the
+# concurrent packages.
+
+GO ?= go
+
+.PHONY: check vet build test race fuzz bench serve
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector over every package that spawns goroutines: the
+# schedule cache + HTTP server, the simulator, and the parallel checkers.
+race:
+	$(GO) test -race ./internal/schedcache ./internal/sim ./internal/core ./cmd/ttdcserve
+
+# Short smoke runs of every fuzz target (seeds always run under plain
+# `go test`; this explores a little beyond them).
+fuzz:
+	$(GO) test -fuzz FuzzDecodeSchedule -fuzztime 10s .
+	$(GO) test -fuzz FuzzScheduleFromSlotSets -fuzztime 10s .
+	$(GO) test -fuzz FuzzCacheGet -fuzztime 10s ./internal/schedcache
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+serve:
+	$(GO) run ./cmd/ttdcserve -addr :8080

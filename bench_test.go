@@ -238,6 +238,39 @@ func BenchmarkFloodSimulator(b *testing.B) {
 	}
 }
 
+// BenchmarkCacheWarmVsCold contrasts a cold schedule construction (GF(q)
+// family + Construct, once per iteration through a fresh cache) with a
+// warm cache Get for the same repeated key. The warm path is a mutex-
+// guarded map lookup and must come out >= 100x faster — that amortization
+// is the entire case for serving schedules through ScheduleCache.
+func BenchmarkCacheWarmVsCold(b *testing.B) {
+	key := ttdc.ScheduleCacheKey{N: 25, D: 2, AlphaT: 3, AlphaR: 5}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := ttdc.NewScheduleCache(8)
+			if _, err := c.Get(key); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		c := ttdc.NewScheduleCache(8)
+		if _, err := c.Get(key); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Get(key); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if c.Stats().Constructions != 1 {
+			b.Fatal("warm loop reconstructed the schedule")
+		}
+	})
+}
+
 // BenchmarkWorstCaseHopLatency measures the latency-bound scan.
 func BenchmarkWorstCaseHopLatency(b *testing.B) {
 	s := mustPoly(b, 12, 2)

@@ -18,66 +18,73 @@ import (
 )
 
 func main() {
-	var (
-		d      = flag.Int("D", 2, "degree bound of the class N(n, D)")
-		in     = flag.String("in", "-", "input file (default stdin)")
-		skip   = flag.Bool("skip-min", false, "skip the (expensive) minimum-throughput scan")
-		report = flag.Bool("report", false, "emit the full analysis report instead of the summary")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ttdcanalyze:", err)
+		os.Exit(1)
+	}
+}
 
-	var r io.Reader = os.Stdin
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ttdcanalyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		d      = fs.Int("D", 2, "degree bound of the class N(n, D)")
+		in     = fs.String("in", "-", "input file (default stdin)")
+		skip   = fs.Bool("skip-min", false, "skip the (expensive) minimum-throughput scan")
+		report = fs.Bool("report", false, "emit the full analysis report instead of the summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	r := stdin
 	if *in != "-" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		r = f
 	}
 	s, err := ttdc.DecodeSchedule(r)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *report {
 		out, err := ttdc.Report(s, ttdc.ReportOptions{D: *d, SkipMinThroughput: *skip})
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Print(out)
-		return
+		fmt.Fprint(stdout, out)
+		return nil
 	}
 	n := s.N()
-	fmt.Printf("schedule: n=%d  L=%d  non-sleeping=%v\n", n, s.L(), s.IsNonSleeping())
-	fmt.Printf("per-slot: transmitters %d..%d, receivers <= %d\n",
+	fmt.Fprintf(stdout, "schedule: n=%d  L=%d  non-sleeping=%v\n", n, s.L(), s.IsNonSleeping())
+	fmt.Fprintf(stdout, "per-slot: transmitters %d..%d, receivers <= %d\n",
 		s.MinTransmitters(), s.MaxTransmitters(), s.MaxReceivers())
-	fmt.Printf("energy:   active fraction %.4f\n", s.ActiveFraction())
+	fmt.Fprintf(stdout, "energy:   active fraction %.4f\n", s.ActiveFraction())
 
 	if *d < 1 || *d > n-1 {
-		fatal(fmt.Errorf("D = %d outside [1, %d]", *d, n-1))
+		return fmt.Errorf("D = %d outside [1, %d]", *d, n-1)
 	}
 	if w := ttdc.CheckRequirement3(s, *d); w != nil {
-		fmt.Printf("topology-transparent for N(%d, %d): NO — %v\n", n, *d, w)
+		fmt.Fprintf(stdout, "topology-transparent for N(%d, %d): NO — %v\n", n, *d, w)
 	} else {
-		fmt.Printf("topology-transparent for N(%d, %d): yes\n", n, *d)
+		fmt.Fprintf(stdout, "topology-transparent for N(%d, %d): yes\n", n, *d)
 	}
 	avg := ttdc.AvgThroughput(s, *d)
-	fmt.Printf("Thr^ave = %s (%.6f)\n", avg.RatString(), ttdc.RatFloat(avg))
+	fmt.Fprintf(stdout, "Thr^ave = %s (%.6f)\n", avg.RatString(), ttdc.RatFloat(avg))
 	bound := ttdc.GeneralThroughputBound(n, *d)
-	fmt.Printf("Theorem 3 bound Thr★ = %s (%.6f), αT★ = %d\n",
+	fmt.Fprintf(stdout, "Theorem 3 bound Thr★ = %s (%.6f), αT★ = %d\n",
 		bound.RatString(), ttdc.RatFloat(bound), ttdc.OptimalTransmitters(n, *d))
 	aT, aR := s.MaxTransmitters(), s.MaxReceivers()
 	if aT >= 1 && aR >= 1 {
 		cb := ttdc.CappedThroughputBound(n, *d, aT, aR)
-		fmt.Printf("Theorem 4 bound Thr★(%d,%d) = %s (%.6f)\n", aT, aR, cb.RatString(), ttdc.RatFloat(cb))
+		fmt.Fprintf(stdout, "Theorem 4 bound Thr★(%d,%d) = %s (%.6f)\n", aT, aR, cb.RatString(), ttdc.RatFloat(cb))
 	}
 	if !*skip {
 		min := ttdc.MinThroughput(s, *d)
-		fmt.Printf("Thr^min = %s (%.6f)\n", min.RatString(), ttdc.RatFloat(min))
+		fmt.Fprintf(stdout, "Thr^min = %s (%.6f)\n", min.RatString(), ttdc.RatFloat(min))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ttdcanalyze:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	ttdc "repro"
+)
+
+// encode renders a schedule in the ttdcgen wire format.
+func encode(t *testing.T, s *ttdc.Schedule) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ttdc.EncodeSchedule(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func dutySchedule(t *testing.T) *ttdc.Schedule {
+	t.Helper()
+	ns, err := ttdc.PolynomialSchedule(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ttdc.Construct(ns, ttdc.ConstructOptions{AlphaT: 2, AlphaR: 4, D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunSummaryFromStdin(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-D", "2"}, encode(t, dutySchedule(t)), &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"schedule: n=9",
+		"topology-transparent for N(9, 2): yes",
+		"Thr^ave = ",
+		"Theorem 3 bound",
+		"Thr^min = ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunReportFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "schedule.json")
+	if err := os.WriteFile(path, encode(t, dutySchedule(t)).Bytes(), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{"-D", "2", "-in", path, "-report", "-skip-min"}, strings.NewReader(""), &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("report mode produced no output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	sched := encode(t, dutySchedule(t)).String()
+	cases := []struct {
+		args  []string
+		stdin string
+	}{
+		{[]string{"-D", "2"}, `{broken`},
+		{[]string{"-D", "99"}, sched},                         // D out of range for n=9
+		{[]string{"-D", "2", "-in", "/nonexistent.json"}, ""}, // unreadable file
+		{[]string{"-not-a-flag"}, ""},
+	}
+	for _, tc := range cases {
+		var out, errb bytes.Buffer
+		if err := run(tc.args, strings.NewReader(tc.stdin), &out, &errb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", tc.args)
+		}
+	}
+}

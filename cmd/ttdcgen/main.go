@@ -15,63 +15,74 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	ttdc "repro"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ttdcgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ttdcgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n        = flag.Int("n", 25, "maximum number of nodes in the class N(n, D)")
-		d        = flag.Int("D", 2, "maximum node degree in the class N(n, D)")
-		base     = flag.String("base", "polynomial", "base construction: tdma | polynomial | steiner | projective | search")
-		frameLen = flag.Int("L", 0, "frame length for -base search (0 = n)")
-		seed     = flag.Uint64("seed", 1, "seed for -base search")
-		alphaT   = flag.Int("alphaT", 0, "max transmitters per slot (0 = keep non-sleeping)")
-		alphaR   = flag.Int("alphaR", 0, "max receivers per slot (0 = keep non-sleeping)")
-		balanced = flag.Bool("balanced", false, "use the balanced-energy division (§7)")
-		format   = flag.String("format", "json", "output format: json | text | grid")
-		verify   = flag.Bool("verify", false, "exhaustively verify topology transparency before emitting")
+		n        = fs.Int("n", 25, "maximum number of nodes in the class N(n, D)")
+		d        = fs.Int("D", 2, "maximum node degree in the class N(n, D)")
+		base     = fs.String("base", "polynomial", "base construction: tdma | polynomial | steiner | projective | search")
+		frameLen = fs.Int("L", 0, "frame length for -base search (0 = n)")
+		seed     = fs.Uint64("seed", 1, "seed for -base search")
+		alphaT   = fs.Int("alphaT", 0, "max transmitters per slot (0 = keep non-sleeping)")
+		alphaR   = fs.Int("alphaR", 0, "max receivers per slot (0 = keep non-sleeping)")
+		balanced = fs.Bool("balanced", false, "use the balanced-energy division (§7)")
+		format   = fs.String("format", "json", "output format: json | text | grid")
+		verify   = fs.Bool("verify", false, "exhaustively verify topology transparency before emitting")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	ns, err := buildBase(*base, *n, *d, *frameLen, *seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	s := ns
 	if *alphaT > 0 || *alphaR > 0 {
 		if *alphaT <= 0 || *alphaR <= 0 {
-			fatal(fmt.Errorf("set both -alphaT and -alphaR (got %d, %d)", *alphaT, *alphaR))
+			return fmt.Errorf("set both -alphaT and -alphaR (got %d, %d)", *alphaT, *alphaR)
 		}
 		opts := ttdc.ConstructOptions{AlphaT: *alphaT, AlphaR: *alphaR, D: *d}
 		if *balanced {
 			opts.Strategy = ttdc.Balanced
 		}
 		if s, err = ttdc.Construct(ns, opts); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *verify {
 		if w := ttdc.CheckRequirement3(s, *d); w != nil {
-			fatal(fmt.Errorf("schedule failed verification: %v", w))
+			return fmt.Errorf("schedule failed verification: %v", w)
 		}
-		fmt.Fprintf(os.Stderr, "verified: topology-transparent for N(%d, %d)\n", *n, *d)
+		fmt.Fprintf(stderr, "verified: topology-transparent for N(%d, %d)\n", *n, *d)
 	}
 	switch *format {
 	case "json":
-		if err := ttdc.EncodeSchedule(os.Stdout, s); err != nil {
-			fatal(err)
-		}
+		return ttdc.EncodeSchedule(stdout, s)
 	case "text":
-		fmt.Println(s.String())
-		fmt.Printf("frame length %d, active fraction %.3f\n", s.L(), s.ActiveFraction())
+		fmt.Fprintln(stdout, s.String())
+		fmt.Fprintf(stdout, "frame length %d, active fraction %.3f\n", s.L(), s.ActiveFraction())
 	case "grid":
-		fmt.Print(s.Grid(80))
-		fmt.Printf("frame length %d, active fraction %.3f\n", s.L(), s.ActiveFraction())
+		fmt.Fprint(stdout, s.Grid(80))
+		fmt.Fprintf(stdout, "frame length %d, active fraction %.3f\n", s.L(), s.ActiveFraction())
 	default:
-		fatal(fmt.Errorf("unknown format %q", *format))
+		return fmt.Errorf("unknown format %q", *format)
 	}
+	return nil
 }
 
 func buildBase(base string, n, d, frameLen int, seed uint64) (*ttdc.Schedule, error) {
@@ -95,9 +106,4 @@ func buildBase(base string, n, d, frameLen int, seed uint64) (*ttdc.Schedule, er
 	default:
 		return nil, fmt.Errorf("unknown base construction %q", base)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ttdcgen:", err)
-	os.Exit(1)
 }

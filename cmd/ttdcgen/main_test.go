@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	ttdc "repro"
+)
+
+func TestRunEmitsDecodableJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-n", "25", "-D", "2", "-alphaT", "3", "-alphaR", "5", "-verify"}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	if !strings.Contains(errb.String(), "verified: topology-transparent for N(25, 2)") {
+		t.Fatalf("missing verification note on stderr: %q", errb.String())
+	}
+	s, err := ttdc.DecodeSchedule(&out)
+	if err != nil {
+		t.Fatalf("output does not decode: %v", err)
+	}
+	if s.N() != 25 || !s.IsAlphaSchedule(3, 5) {
+		t.Fatalf("decoded schedule n=%d caps ok=%v", s.N(), s.IsAlphaSchedule(3, 5))
+	}
+}
+
+func TestRunBases(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "9", "-D", "2", "-base", "tdma"},
+		{"-n", "9", "-D", "2", "-base", "steiner"},
+		{"-n", "9", "-D", "2", "-base", "projective"},
+		{"-n", "9", "-D", "2", "-base", "search", "-L", "12"},
+	} {
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+			continue
+		}
+		if _, err := ttdc.DecodeSchedule(&out); err != nil {
+			t.Errorf("run(%v) output does not decode: %v", args, err)
+		}
+	}
+}
+
+func TestRunTextAndGridFormats(t *testing.T) {
+	for _, format := range []string{"text", "grid"} {
+		var out, errb bytes.Buffer
+		if err := run([]string{"-n", "9", "-D", "2", "-format", format}, &out, &errb); err != nil {
+			t.Fatalf("format %s: %v", format, err)
+		}
+		if !strings.Contains(out.String(), "frame length 9, active fraction 1.000") {
+			t.Fatalf("format %s output missing summary line:\n%s", format, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-base", "nope"},
+		{"-format", "nope"},
+		{"-n", "9", "-D", "3", "-base", "steiner"}, // steiner needs D = 2
+		{"-alphaT", "3"},                           // αR missing
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Command ttdcserve serves topology-transparent duty-cycling schedules
+// over HTTP, memoizing construction so every distinct class
+// (n, D, αT, αR, strategy) is built exactly once and then served from an
+// LRU cache with singleflight deduplication.
+//
+// Usage:
+//
+//	ttdcserve -addr :8080 -cache 1024
+//
+// Endpoints:
+//
+//	GET /schedule?n=25&D=2&alphaT=3&alphaR=5[&strategy=balanced]
+//	    → {"schedule": {"n":...,"t":...,"r":...}, "l":..., "activeFraction":...,
+//	       "avgThroughput":"p/q", ...}; the "schedule" field is exactly the
+//	       ttdcgen wire format, so it pipes into ttdcanalyze/ttdcsim.
+//	GET /healthz      liveness probe
+//	GET /metrics      cache and latency counters (JSON)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/schedcache"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ttdcserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ttdcserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		capacity = fs.Int("cache", schedcache.DefaultCapacity, "max cached schedules (LRU)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           Handler(schedcache.New(*capacity)),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Fprintf(stdout, "ttdcserve: listening on %s (cache capacity %d)\n", *addr, *capacity)
+	return srv.ListenAndServe()
+}

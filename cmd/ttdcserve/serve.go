@@ -1,0 +1,225 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	ttdc "repro"
+	"repro/internal/schedcache"
+)
+
+// scheduleResponse is the /schedule payload: the EncodeSchedule wire
+// format embedded verbatim, plus the analysis figures a node (or an
+// operator) wants alongside it.
+type scheduleResponse struct {
+	// Schedule is the exact EncodeSchedule JSON document
+	// ({"n":..., "t":[[...]], "r":[[...]]}); DecodeSchedule accepts it.
+	Schedule json.RawMessage `json:"schedule"`
+	// Request echo.
+	N        int    `json:"n"`
+	D        int    `json:"d"`
+	AlphaT   int    `json:"alphaT"`
+	AlphaR   int    `json:"alphaR"`
+	Strategy string `json:"strategy"`
+	// Analysis.
+	L                  int     `json:"l"`
+	ActiveFraction     float64 `json:"activeFraction"`
+	AvgThroughput      string  `json:"avgThroughput"` // exact Theorem-2 rational
+	AvgThroughputFloat float64 `json:"avgThroughputFloat"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// latencyBuckets are the upper bounds of the /metrics request-latency
+// histogram; a final +Inf bucket catches the rest.
+var latencyBuckets = []time.Duration{
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+// histogram is a fixed-bucket latency histogram with atomic counters;
+// counts[len(latencyBuckets)] is the +Inf bucket.
+type histogram struct {
+	counts []atomic.Int64
+	total  atomic.Int64 // observations
+	sumNS  atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	i := 0
+	for ; i < len(latencyBuckets) && d > latencyBuckets[i]; i++ {
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// snapshot renders cumulative ("le") bucket counts, expvar-style.
+func (h *histogram) snapshot() map[string]int64 {
+	out := make(map[string]int64, len(latencyBuckets)+3)
+	var cum int64
+	for i, b := range latencyBuckets {
+		cum += h.counts[i].Load()
+		out["le_"+b.String()] = cum
+	}
+	cum += h.counts[len(latencyBuckets)].Load()
+	out["le_inf"] = cum
+	out["count"] = h.total.Load()
+	out["sum_ns"] = h.sumNS.Load()
+	return out
+}
+
+// server holds the handler state: the schedule cache and request metrics.
+type server struct {
+	cache    *schedcache.Cache
+	latency  *histogram
+	requests atomic.Int64
+	started  time.Time
+}
+
+// Handler builds the ttdcserve HTTP API over c:
+//
+//	GET /schedule?n=&D=&alphaT=&alphaR=&strategy=   schedule + analysis JSON
+//	GET /healthz                                    liveness probe
+//	GET /metrics                                    cache stats + latency histogram
+//
+// It is exported (and main is a thin wrapper) so tests drive it through
+// net/http/httptest without binding a port.
+func Handler(c *schedcache.Cache) http.Handler {
+	s := &server{cache: c, latency: newHistogram(), started: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/schedule", s.handleSchedule)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// intParam parses query parameter name as an int, with def when absent.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	i, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s=%q is not an integer", name, v)
+	}
+	return i, nil
+}
+
+func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.latency.observe(time.Since(start)) }()
+	s.requests.Add(1)
+
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	n, err := intParam(r, "n", 0)
+	if err == nil && n == 0 {
+		err = fmt.Errorf("parameter n is required")
+	}
+	var d int
+	if err == nil {
+		d, err = intParam(r, "D", 0)
+		if d == 0 && err == nil {
+			err = fmt.Errorf("parameter D is required")
+		}
+	}
+	var alphaT, alphaR int
+	if err == nil {
+		alphaT, err = intParam(r, "alphaT", 0)
+	}
+	if err == nil {
+		alphaR, err = intParam(r, "alphaR", 0)
+	}
+	var strategy = ttdc.Sequential
+	if err == nil {
+		strategy, err = schedcache.ParseStrategy(r.URL.Query().Get("strategy"))
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := schedcache.Key{N: n, D: d, AlphaT: alphaT, AlphaR: alphaR, Strategy: strategy}
+	if err := key.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sched, err := s.cache.Get(key)
+	if err != nil {
+		// The key parsed but no schedule exists for it (infeasible caps,
+		// no admissible field, ...): the request is semantically broken.
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	var wire bytes.Buffer
+	if err := ttdc.EncodeSchedule(&wire, sched); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	avg := ttdc.AvgThroughput(sched, d)
+	writeJSON(w, http.StatusOK, scheduleResponse{
+		Schedule:           json.RawMessage(bytes.TrimSpace(wire.Bytes())),
+		N:                  n,
+		D:                  d,
+		AlphaT:             alphaT,
+		AlphaR:             alphaR,
+		Strategy:           schedcache.StrategyName(strategy),
+		L:                  sched.L(),
+		ActiveFraction:     sched.ActiveFraction(),
+		AvgThroughput:      avg.RatString(),
+		AvgThroughputFloat: ttdc.RatFloat(avg),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cache": map[string]int64{
+			"hits":          st.Hits,
+			"misses":        st.Misses,
+			"inflight":      st.Inflight,
+			"evictions":     st.Evictions,
+			"constructions": st.Constructions,
+			"errors":        st.Errors,
+			"entries":       st.Entries,
+			"capacity":      int64(s.cache.Capacity()),
+		},
+		"requests":         s.requests.Load(),
+		"schedule_latency": s.latency.snapshot(),
+		"uptime_seconds":   time.Since(s.started).Seconds(),
+	})
+}

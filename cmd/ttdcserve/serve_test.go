@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	ttdc "repro"
+	"repro/internal/schedcache"
+)
+
+func get(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	body, err := io.ReadAll(rec.Result().Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, body
+}
+
+func TestScheduleEndpoint(t *testing.T) {
+	cache := schedcache.New(16)
+	h := Handler(cache)
+	rec, body := get(t, h, "/schedule?n=25&D=2&alphaT=3&alphaR=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp scheduleResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if resp.N != 25 || resp.D != 2 || resp.AlphaT != 3 || resp.AlphaR != 5 || resp.Strategy != "sequential" {
+		t.Fatalf("request echo wrong: %+v", resp)
+	}
+	// The embedded schedule must be the DecodeSchedule wire format.
+	s, err := ttdc.DecodeSchedule(bytes.NewReader(resp.Schedule))
+	if err != nil {
+		t.Fatalf("embedded schedule does not decode: %v", err)
+	}
+	if s.N() != 25 || s.L() != resp.L {
+		t.Fatalf("embedded schedule shape n=%d L=%d vs l=%d", s.N(), s.L(), resp.L)
+	}
+	if !s.IsAlphaSchedule(3, 5) || !ttdc.IsTopologyTransparent(s, 2) {
+		t.Fatal("served schedule violates caps or topology transparency")
+	}
+	if got := s.ActiveFraction(); got != resp.ActiveFraction {
+		t.Fatalf("activeFraction %v vs %v", resp.ActiveFraction, got)
+	}
+	want := ttdc.AvgThroughput(s, 2)
+	if resp.AvgThroughput != want.RatString() {
+		t.Fatalf("avgThroughput %q, want %q", resp.AvgThroughput, want.RatString())
+	}
+	if resp.AvgThroughputFloat != ttdc.RatFloat(want) {
+		t.Fatalf("avgThroughputFloat %v, want %v", resp.AvgThroughputFloat, ttdc.RatFloat(want))
+	}
+	if st := cache.Stats(); st.Constructions != 1 || st.Misses != 1 {
+		t.Fatalf("cache stats after one request: %+v", st)
+	}
+	// Second identical request: a pure cache hit.
+	if rec2, _ := get(t, h, "/schedule?n=25&D=2&alphaT=3&alphaR=5"); rec2.Code != http.StatusOK {
+		t.Fatalf("repeat status %d", rec2.Code)
+	}
+	if st := cache.Stats(); st.Constructions != 1 || st.Hits != 1 {
+		t.Fatalf("cache stats after repeat: %+v", st)
+	}
+}
+
+func TestScheduleNonSleepingDefault(t *testing.T) {
+	h := Handler(schedcache.New(4))
+	rec, body := get(t, h, "/schedule?n=9&D=2")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp scheduleResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ttdc.DecodeSchedule(bytes.NewReader(resp.Schedule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsNonSleeping() {
+		t.Fatal("capless request should serve the non-sleeping base schedule")
+	}
+	if resp.ActiveFraction != 1 {
+		t.Fatalf("non-sleeping activeFraction = %v", resp.ActiveFraction)
+	}
+}
+
+func TestScheduleBadRequests(t *testing.T) {
+	h := Handler(schedcache.New(4))
+	cases := []struct {
+		path string
+		code int
+	}{
+		{"/schedule", http.StatusBadRequest},                                    // n missing
+		{"/schedule?n=25", http.StatusBadRequest},                               // D missing
+		{"/schedule?n=x&D=2", http.StatusBadRequest},                            // non-integer
+		{"/schedule?n=25&D=2&alphaT=3", http.StatusBadRequest},                  // αR missing
+		{"/schedule?n=25&D=2&strategy=zigzag", http.StatusBadRequest},           // unknown strategy
+		{"/schedule?n=9&D=2&alphaT=8&alphaR=8", http.StatusUnprocessableEntity}, // infeasible caps
+		{"/schedule?n=2&D=9", http.StatusBadRequest},                            // D > n-1
+		{"/schedule?n=999999999&D=3&alphaT=2&alphaR=4", http.StatusBadRequest},  // n past the serving bound
+		{"/schedule?n=65536&D=1000", http.StatusUnprocessableEntity},            // past the build budget
+	}
+	for _, tc := range cases {
+		rec, body := get(t, h, tc.path)
+		if rec.Code != tc.code {
+			t.Errorf("%s: status %d, want %d (%s)", tc.path, rec.Code, tc.code, body)
+			continue
+		}
+		var e errorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body not JSON: %s", tc.path, body)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/schedule?n=9&D=2", strings.NewReader("{}")))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d, want 405", rec.Code)
+	}
+}
+
+// TestConcurrentScheduleRequests serves 100 concurrent /schedule requests
+// over 4 distinct keys and asserts the cache deduplicated every burst to
+// exactly one construction per distinct key. Must pass under -race.
+func TestConcurrentScheduleRequests(t *testing.T) {
+	cache := schedcache.New(16)
+	h := Handler(cache)
+	paths := []string{
+		"/schedule?n=25&D=2&alphaT=3&alphaR=5",
+		"/schedule?n=25&D=2&alphaT=3&alphaR=5&strategy=balanced",
+		"/schedule?n=16&D=2&alphaT=2&alphaR=4",
+		"/schedule?n=9&D=2",
+	}
+	const requests = 100
+	var (
+		start sync.WaitGroup
+		done  sync.WaitGroup
+	)
+	start.Add(1)
+	done.Add(requests)
+	for i := 0; i < requests; i++ {
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, paths[i%len(paths)], nil))
+			if rec.Code != http.StatusOK {
+				t.Errorf("request %d: status %d", i, rec.Code)
+			}
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+	st := cache.Stats()
+	if want := int64(len(paths)); st.Constructions != want {
+		t.Fatalf("constructions = %d, want %d (one per distinct key); stats %+v", st.Constructions, want, st)
+	}
+	if st.Hits+st.Misses != requests {
+		t.Fatalf("hits %d + misses %d != %d requests", st.Hits, st.Misses, requests)
+	}
+	if st.Inflight != 0 {
+		t.Fatalf("inflight gauge stuck at %d", st.Inflight)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	rec, body := get(t, Handler(schedcache.New(4)), "/healthz")
+	if rec.Code != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz: %d %q", rec.Code, body)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	cache := schedcache.New(4)
+	h := Handler(cache)
+	for i := 0; i < 3; i++ {
+		if rec, _ := get(t, h, "/schedule?n=9&D=2"); rec.Code != http.StatusOK {
+			t.Fatalf("warmup status %d", rec.Code)
+		}
+	}
+	get(t, h, "/schedule?n=bogus&D=2") // a 400 also counts as a request
+	rec, body := get(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	var m struct {
+		Cache    map[string]int64 `json:"cache"`
+		Requests int64            `json:"requests"`
+		Latency  map[string]int64 `json:"schedule_latency"`
+	}
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, body)
+	}
+	if m.Cache["hits"] != 2 || m.Cache["misses"] != 1 || m.Cache["constructions"] != 1 {
+		t.Fatalf("cache metrics: %v", m.Cache)
+	}
+	if m.Cache["capacity"] != 4 || m.Cache["entries"] != 1 {
+		t.Fatalf("cache shape metrics: %v", m.Cache)
+	}
+	if m.Requests != 4 {
+		t.Fatalf("requests = %d, want 4", m.Requests)
+	}
+	if m.Latency["count"] != 4 || m.Latency["le_inf"] != 4 {
+		t.Fatalf("latency histogram: %v", m.Latency)
+	}
+	// Cumulative buckets must be monotone up to le_inf.
+	prev := int64(0)
+	for _, b := range latencyBuckets {
+		cur := m.Latency["le_"+b.String()]
+		if cur < prev {
+			t.Fatalf("histogram not cumulative: %v", m.Latency)
+		}
+		prev = cur
+	}
+	if m.Latency["le_inf"] < prev {
+		t.Fatalf("le_inf below last bucket: %v", m.Latency)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-nope"}, &out, &errb); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func ExampleHandler() {
+	h := Handler(schedcache.New(4))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/schedule?n=25&D=2&alphaT=3&alphaR=5", nil))
+	var resp scheduleResponse
+	json.Unmarshal(rec.Body.Bytes(), &resp) //nolint:errcheck
+	fmt.Println(rec.Code, resp.L, resp.AvgThroughput)
+	// Output: 200 200 21/920
+}

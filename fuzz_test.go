@@ -21,13 +21,27 @@ func FuzzDecodeSchedule(f *testing.F) {
 	if err := ttdc.EncodeSchedule(&buf, good); err != nil {
 		f.Fatal(err)
 	}
+	// A duty-cycled schedule exercises sleeping slots in the corpus too.
+	if ns, err := ttdc.PolynomialSchedule(9, 2); err == nil {
+		if duty, err := ttdc.Construct(ns, ttdc.ConstructOptions{AlphaT: 2, AlphaR: 4, D: 2}); err == nil {
+			var dbuf bytes.Buffer
+			if err := ttdc.EncodeSchedule(&dbuf, duty); err == nil {
+				f.Add(dbuf.String())
+			}
+		}
+	}
 	f.Add(buf.String())
 	f.Add(`{"n":3,"t":[[0]],"r":[[1,2]]}`)
-	f.Add(`{"n":3,"t":[[0,1]],"r":[[1]]}`) // overlap: must error, not panic
+	f.Add(`{"n":3,"t":[[0,1]],"r":[[1]]}`)     // overlap: must error, not panic
+	f.Add(`{"n":3,"t":[[0],[1]],"r":[[1]]}`)   // |T| != |R|: must error, not panic
+	f.Add(`{"n":3,"t":[[0,0]],"r":[[1,1,2]]}`) // duplicate nodes in a slot
+	f.Add(`{"n":3,"t":[[-1]],"r":[[9]]}`)      // nodes outside [0, n)
 	f.Add(`{"n":-1}`)
 	f.Add(`{`)
 	f.Add(``)
 	f.Add(`{"n":1000000,"t":[],"r":[]}`)
+	f.Add(`{"n":1048577,"t":[[]],"r":[[]]}`)    // n > maxDecodedDimension
+	f.Add(`{"n":2,"t":[[]],"r":[[],[],[],[]]}`) // R longer than T
 	f.Fuzz(func(t *testing.T, data string) {
 		s, err := ttdc.DecodeSchedule(strings.NewReader(data))
 		if err != nil {

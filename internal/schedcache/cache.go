@@ -1,0 +1,293 @@
+// Package schedcache memoizes schedule construction. Schedules are pure
+// functions of (n, D, αT, αR, strategy), and building one — polynomial
+// cover-free family over GF(q) plus the paper's Construct algorithm — is
+// orders of magnitude more expensive than a map lookup, so a serving
+// deployment wants every distinct key built exactly once.
+//
+// Cache is a concurrency-safe, size-bounded (LRU by entry count) cache
+// with singleflight-style deduplication: N concurrent Gets for the same
+// missing key trigger exactly one construction, and the other N-1 callers
+// block until the leader finishes and then share its result. Construction
+// errors are returned to every waiter but never cached, so a transient
+// bad key does not poison the table. Hit/miss/eviction/construction
+// counters are maintained atomically and exposed via Stats.
+package schedcache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cff"
+	"repro/internal/core"
+)
+
+// Key identifies a schedule request. AlphaT = AlphaR = 0 requests the
+// topology-transparent non-sleeping base schedule for N(n, D); otherwise
+// both caps must be >= 1 and the paper's Construct algorithm converts the
+// base into an (αT, αR)-schedule using the given division strategy.
+type Key struct {
+	N, D           int
+	AlphaT, AlphaR int
+	Strategy       core.DivisionStrategy
+}
+
+// MaxN bounds the class size a cache will construct. Untrusted callers
+// (the HTTP API) reach construction through Get, and an unbounded n lets
+// one request allocate per-slot bitsets for an arbitrarily large node
+// universe.
+const MaxN = 1 << 16
+
+// maxBuildCells bounds the n×L footprint of any schedule this package
+// will construct, base or duty-cycled. n×L is the first-order cost of a
+// schedule in both time and memory (per-slot and per-node bitset views),
+// and — unlike n alone — it also catches degree bounds that force a huge
+// field: L = q² with q > D, so a large D inflates the frame even for
+// modest n. Checked against closed forms before any materialization, so
+// rejection is O(1)-ish, never a partial build.
+const maxBuildCells = 1 << 26
+
+// Validate reports whether the key can possibly name a schedule, before
+// any construction work is attempted.
+func (k Key) Validate() error {
+	if k.N < 2 {
+		return fmt.Errorf("schedcache: n = %d < 2", k.N)
+	}
+	if k.N > MaxN {
+		return fmt.Errorf("schedcache: n = %d exceeds the serving bound %d", k.N, MaxN)
+	}
+	if k.D < 1 || k.D > k.N-1 {
+		return fmt.Errorf("schedcache: D = %d outside [1, %d]", k.D, k.N-1)
+	}
+	if (k.AlphaT == 0) != (k.AlphaR == 0) {
+		return fmt.Errorf("schedcache: set both alphaT and alphaR or neither (got %d, %d)", k.AlphaT, k.AlphaR)
+	}
+	if k.AlphaT < 0 || k.AlphaR < 0 {
+		return fmt.Errorf("schedcache: negative caps (%d, %d)", k.AlphaT, k.AlphaR)
+	}
+	if k.Strategy != core.Sequential && k.Strategy != core.Balanced {
+		return fmt.Errorf("schedcache: unknown division strategy %d", int(k.Strategy))
+	}
+	return nil
+}
+
+// ParseStrategy maps the wire names of the division strategies ("seq",
+// "sequential", "bal", "balanced", or empty for the default) onto
+// core.DivisionStrategy values.
+func ParseStrategy(s string) (core.DivisionStrategy, error) {
+	switch s {
+	case "", "seq", "sequential":
+		return core.Sequential, nil
+	case "bal", "balanced":
+		return core.Balanced, nil
+	default:
+		return 0, fmt.Errorf("schedcache: unknown division strategy %q", s)
+	}
+}
+
+// StrategyName is the inverse of ParseStrategy, for display.
+func StrategyName(s core.DivisionStrategy) string {
+	if s == core.Balanced {
+		return "balanced"
+	}
+	return "sequential"
+}
+
+// Stats is an atomic snapshot of cache counters.
+type Stats struct {
+	// Hits counts Gets served from a cached entry.
+	Hits int64
+	// Misses counts Gets that found no cached entry — both construction
+	// leaders and callers coalesced onto another caller's construction.
+	Misses int64
+	// Inflight is the number of constructions running right now.
+	Inflight int64
+	// Evictions counts entries dropped to keep the cache within capacity.
+	Evictions int64
+	// Constructions counts actual construction runs; with perfect
+	// deduplication this equals the number of distinct keys ever built.
+	Constructions int64
+	// Errors counts constructions that failed (failures are not cached).
+	Errors int64
+	// Entries is the current number of cached schedules.
+	Entries int64
+}
+
+// call is a pending construction that concurrent Gets coalesce onto.
+type call struct {
+	done chan struct{}
+	s    *core.Schedule
+	err  error
+}
+
+type entry struct {
+	key Key
+	s   *core.Schedule
+}
+
+// Cache is a memoizing schedule cache. The zero value is not usable; use
+// New. All methods are safe for concurrent use.
+type Cache struct {
+	capacity int
+
+	mu       sync.Mutex
+	lru      *list.List // front = most recently used; element values are *entry
+	entries  map[Key]*list.Element
+	inflight map[Key]*call
+
+	hits, misses, evictions, constructions, errors, inflightN atomic.Int64
+}
+
+// DefaultCapacity bounds the cache when New is given a non-positive size.
+const DefaultCapacity = 1024
+
+// New returns a cache holding at most capacity schedules (DefaultCapacity
+// when capacity <= 0).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		lru:      list.New(),
+		entries:  make(map[Key]*list.Element),
+		inflight: make(map[Key]*call),
+	}
+}
+
+// Capacity returns the maximum number of cached schedules.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the current number of cached schedules.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	entries := int64(len(c.entries))
+	c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Inflight:      c.inflightN.Load(),
+		Evictions:     c.evictions.Load(),
+		Constructions: c.constructions.Load(),
+		Errors:        c.errors.Load(),
+		Entries:       entries,
+	}
+}
+
+// Get returns the schedule for k, constructing and caching it on first
+// use. Concurrent Gets for the same missing key run one construction; the
+// rest wait and share the result. Schedules are immutable — callers may
+// share the returned pointer freely but must not mutate through unsafe
+// means.
+func (c *Cache) Get(k Key) (*core.Schedule, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*entry).s, nil
+	}
+	c.misses.Add(1)
+	if cl, ok := c.inflight[k]; ok {
+		c.mu.Unlock()
+		<-cl.done
+		return cl.s, cl.err
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[k] = cl
+	c.inflightN.Add(1)
+	c.mu.Unlock()
+
+	c.constructions.Add(1)
+	s, err := Build(k)
+
+	c.mu.Lock()
+	delete(c.inflight, k)
+	c.inflightN.Add(-1)
+	if err != nil {
+		c.errors.Add(1)
+	} else {
+		c.insertLocked(k, s)
+	}
+	c.mu.Unlock()
+
+	cl.s, cl.err = s, err
+	close(cl.done)
+	return s, err
+}
+
+// insertLocked adds (k, s) as the most recently used entry and evicts
+// from the LRU tail past capacity. Caller holds c.mu.
+func (c *Cache) insertLocked(k Key, s *core.Schedule) {
+	if el, ok := c.entries[k]; ok { // lost a race with another inserter
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.lru.PushFront(&entry{key: k, s: s})
+	for len(c.entries) > c.capacity {
+		tail := c.lru.Back()
+		if tail == nil {
+			break
+		}
+		c.lru.Remove(tail)
+		delete(c.entries, tail.Value.(*entry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Build constructs the schedule for k without any caching: the polynomial
+// (orthogonal-array) topology-transparent non-sleeping schedule for
+// N(n, D), duty-cycled through the paper's Construct algorithm when the
+// (αT, αR) caps are set. Exported so benchmarks and servers can measure
+// the cold path the cache amortizes.
+func Build(k Key) (*core.Schedule, error) {
+	// The parameter search is a cheap scalar loop; budget-check the
+	// resulting frame before materializing n member sets over it.
+	params, err := cff.FindPolynomialParams(k.N, k.D)
+	if err != nil {
+		return nil, err
+	}
+	if cost := int64(k.N) * int64(params.FrameLength()); cost > maxBuildCells {
+		return nil, fmt.Errorf("schedcache: base schedule for N(%d, %d) needs frame length %d; n×L = %d exceeds the build budget %d",
+			k.N, k.D, params.FrameLength(), cost, maxBuildCells)
+	}
+	fam, err := cff.PolynomialFor(k.N, k.D)
+	if err != nil {
+		return nil, err
+	}
+	ns, err := core.ScheduleFromFamily(fam.L, fam.Sets)
+	if err != nil {
+		return nil, err
+	}
+	if k.AlphaT == 0 && k.AlphaR == 0 {
+		return ns, nil
+	}
+	if k.AlphaT+k.AlphaR > k.N {
+		return nil, fmt.Errorf("schedcache: Construct requires αT + αR <= n (got %d + %d > %d)", k.AlphaT, k.AlphaR, k.N)
+	}
+	// Theorem 7 gives the duty-cycled frame length in closed form; check
+	// it against the budget before running the expansion.
+	aStar := core.OptimalTransmittersCapped(k.N, k.D, k.AlphaT)
+	lFinal := core.ConstructedFrameLength(ns, aStar, k.AlphaR)
+	if cost := int64(k.N) * int64(lFinal); cost > maxBuildCells {
+		return nil, fmt.Errorf("schedcache: (%d, %d)-schedule for N(%d, %d) needs frame length %d; n×L = %d exceeds the build budget %d",
+			k.AlphaT, k.AlphaR, k.N, k.D, lFinal, cost, maxBuildCells)
+	}
+	return core.Construct(ns, core.ConstructOptions{
+		AlphaT:   k.AlphaT,
+		AlphaR:   k.AlphaR,
+		D:        k.D,
+		Strategy: k.Strategy,
+	})
+}

@@ -42,6 +42,9 @@ func DecodeSchedule(r io.Reader) (*Schedule, error) {
 	if len(in.T) > maxDecodedDimension {
 		return nil, fmt.Errorf("ttdc: decoded frame length %d exceeds %d", len(in.T), maxDecodedDimension)
 	}
+	if len(in.R) > maxDecodedDimension {
+		return nil, fmt.Errorf("ttdc: decoded receiver slot count %d exceeds %d", len(in.R), maxDecodedDimension)
+	}
 	s, err := NewSchedule(in.N, in.T, in.R)
 	if err != nil {
 		return nil, fmt.Errorf("ttdc: decoded schedule invalid: %w", err)

@@ -2,6 +2,7 @@ package ttdc_test
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -31,13 +32,50 @@ func TestScheduleJSONRoundTrip(t *testing.T) {
 	}
 }
 
-func TestDecodeScheduleErrors(t *testing.T) {
-	if _, err := ttdc.DecodeSchedule(strings.NewReader("{not json")); err == nil {
-		t.Fatal("bad JSON accepted")
+// oversizedSlots renders a JSON array of count empty slot lists, for
+// exercising the maxDecodedDimension guards (2^20 entries ≈ 3 MB of text).
+func oversizedSlots(count int) string {
+	var b strings.Builder
+	b.Grow(3*count + 2)
+	b.WriteByte('[')
+	for i := 0; i < count; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString("[]")
 	}
-	// Valid JSON, invalid schedule (overlapping T/R in a slot).
-	bad := `{"n":3,"t":[[0,1]],"r":[[1,2]]}`
-	if _, err := ttdc.DecodeSchedule(strings.NewReader(bad)); err == nil {
-		t.Fatal("invalid schedule accepted")
+	b.WriteByte(']')
+	return b.String()
+}
+
+func TestDecodeScheduleErrors(t *testing.T) {
+	const over = 1<<20 + 1 // maxDecodedDimension + 1
+	cases := []struct {
+		name    string
+		input   string
+		wantSub string
+	}{
+		{"bad JSON", `{not json`, "decode schedule"},
+		{"empty input", ``, "decode schedule"},
+		{"n below 1", `{"n":0,"t":[[]],"r":[[]]}`, "outside [1,"},
+		{"n negative", `{"n":-1,"t":[[]],"r":[[]]}`, "outside [1,"},
+		{"n oversized", fmt.Sprintf(`{"n":%d,"t":[[]],"r":[[]]}`, over), "outside [1,"},
+		{"T oversized", fmt.Sprintf(`{"n":2,"t":%s,"r":[[]]}`, oversizedSlots(over)), "frame length"},
+		{"R oversized", fmt.Sprintf(`{"n":2,"t":[[]],"r":%s}`, oversizedSlots(over)), "receiver slot count"},
+		{"T/R length mismatch", `{"n":3,"t":[[0],[1]],"r":[[1]]}`, "|T| = 2 but |R| = 1"},
+		{"empty frame", `{"n":3,"t":[],"r":[]}`, "positive"},
+		{"T/R overlap in a slot", `{"n":3,"t":[[0,1]],"r":[[1,2]]}`, "both transmitting and receiving"},
+		{"node out of range", `{"n":3,"t":[[3]],"r":[[]]}`, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ttdc.DecodeSchedule(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatal("invalid document accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
 	}
 }

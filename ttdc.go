@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/cff"
 	"repro/internal/core"
+	"repro/internal/schedcache"
 )
 
 // Schedule is a periodic ⟨T,R⟩ activity schedule. See core.Schedule for
@@ -161,6 +162,23 @@ func ScheduleFromSlotSets(frameLen int, sets [][]int) (*Schedule, error) {
 func Construct(ns *Schedule, opts ConstructOptions) (*Schedule, error) {
 	return core.Construct(ns, opts)
 }
+
+// ScheduleCache is a concurrency-safe, size-bounded (LRU) memoizing cache
+// over schedule construction with singleflight deduplication: N concurrent
+// requests for the same (n, D, αT, αR, strategy) key trigger exactly one
+// construction. See internal/schedcache and cmd/ttdcserve.
+type ScheduleCache = schedcache.Cache
+
+// ScheduleCacheKey identifies a cached schedule request; zero AlphaT and
+// AlphaR request the non-sleeping base schedule.
+type ScheduleCacheKey = schedcache.Key
+
+// ScheduleCacheStats is an atomic snapshot of cache counters.
+type ScheduleCacheStats = schedcache.Stats
+
+// NewScheduleCache returns a schedule cache holding at most capacity
+// entries (a default when capacity <= 0).
+func NewScheduleCache(capacity int) *ScheduleCache { return schedcache.New(capacity) }
 
 // IsTopologyTransparent reports whether s satisfies Requirement 3
 // (equivalently Requirement 2, Theorem 1) for the class N(s.N(), d).
