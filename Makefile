@@ -1,12 +1,12 @@
 # Verification targets for the ttdc reproduction. `make check` is the
-# tier-1 gate: vet + build + full test suite + race detector over the
-# concurrent packages.
+# tier-1 gate: vet + build + domain lint + full test suite + race
+# detector over every package.
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench serve
+.PHONY: check vet build lint test race fuzz bench serve
 
-check: vet build test race
+check: vet build lint test race
 
 vet:
 	$(GO) vet ./...
@@ -14,13 +14,21 @@ vet:
 build:
 	$(GO) build ./...
 
+# The domain linter (see internal/lint): reproducibility and
+# exact-arithmetic invariants, plus gofmt cleanliness over the whole tree
+# (including testdata fixtures, which plain `go fmt ./...` skips).
+lint:
+	$(GO) run ./cmd/ttdclint ./...
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
-# The race detector over every package that spawns goroutines: the
-# schedule cache + HTTP server, the simulator, and the parallel checkers.
+# The whole suite is race-clean, so new concurrent packages are covered
+# by default rather than opt-in.
 race:
-	$(GO) test -race ./internal/schedcache ./internal/sim ./internal/core ./cmd/ttdcserve
+	$(GO) test -race ./...
 
 # Short smoke runs of every fuzz target (seeds always run under plain
 # `go test`; this explores a little beyond them).

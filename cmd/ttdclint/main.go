@@ -1,0 +1,120 @@
+// Command ttdclint runs the repository's domain linter (internal/lint)
+// over the module: it mechanically enforces the reproducibility and
+// exact-arithmetic invariants the package documentation promises. See the
+// internal/lint package documentation for the analyzer suite and the
+// //lint:ignore suppression syntax.
+//
+// Usage:
+//
+//	ttdclint [-json] [-tests=false] [packages...]
+//
+// Each argument is a directory or a `dir/...` tree pattern; the default is
+// `./...`. The exit status is 0 when the tree is clean, 1 when there are
+// findings, and 2 when packages fail to load or type-check.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ttdclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	tests := fs.Bool("tests", true, "also lint _test.go files")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader("")
+	if err != nil {
+		fmt.Fprintln(stderr, "ttdclint:", err)
+		return 2
+	}
+	var pkgs []*lint.Package
+	for _, pat := range patterns {
+		var units []*lint.Package
+		var err error
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			root := filepath.Clean(rest)
+			if rest == "" {
+				root = "."
+			}
+			units, err = loader.LoadTree(root, *tests)
+		} else {
+			units, err = loader.LoadDir(pat, *tests)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "ttdclint:", err)
+			return 2
+		}
+		pkgs = append(pkgs, units...)
+	}
+
+	diags := lint.Lint(pkgs, lint.All())
+	wd, _ := os.Getwd()
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     relPath(wd, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "ttdclint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d: %s: %s\n", relPath(wd, d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// relPath shortens abs to a path relative to the working directory when
+// that is both possible and actually shorter to read.
+func relPath(wd, abs string) string {
+	if wd == "" {
+		return abs
+	}
+	rel, err := filepath.Rel(wd, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return abs
+	}
+	return rel
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunCleanTree(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"testdata/good"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout=%q stderr=%q", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean tree produced output: %q", out.String())
+	}
+}
+
+func TestRunFindings(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"testdata/bad"}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr=%q", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"ratcompare: *big.Rat compared with ==",
+		"maporder: fmt.Println call inside range over map",
+		"ratfloat: lossy Rat.Float64",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("findings = %d, want 3:\n%s", len(lines), got)
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "testdata/bad/bad.go:") {
+			t.Errorf("diagnostic not in file:line form: %q", line)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "testdata/bad"}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr=%q", code, errb.String())
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out.String())
+	}
+	if len(diags) != 3 {
+		t.Fatalf("json findings = %d, want 3", len(diags))
+	}
+	analyzers := map[string]bool{}
+	for _, d := range diags {
+		if d.File != "testdata/bad/bad.go" || d.Line <= 0 || d.Col <= 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic %+v", d)
+		}
+		analyzers[d.Analyzer] = true
+	}
+	for _, a := range []string{"ratcompare", "maporder", "ratfloat"} {
+		if !analyzers[a] {
+			t.Errorf("missing %s finding in JSON output", a)
+		}
+	}
+}
+
+func TestRunMissingDir(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"testdata/nosuchdir"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if errb.Len() == 0 {
+		t.Fatal("expected a load error on stderr")
+	}
+}
+
+// TestRunSelfTree lints this command's own directory via the default
+// `./...` pattern (testdata is skipped by the tree walk): ttdclint must be
+// clean under its own analyzers.
+func TestRunSelfTree(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 0 {
+		t.Fatalf("ttdclint is not self-clean: exit=%d\n%s%s", code, out.String(), errb.String())
+	}
+}

@@ -1,0 +1,27 @@
+// Package bad is the dirty fixture tree for the ttdclint smoke test: it
+// must produce exactly one ratcompare, one maporder, and one ratfloat
+// finding, in that positional order.
+package bad
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Same compares rationals by pointer — a ratcompare finding.
+func Same(a, b *big.Rat) bool {
+	return a == b
+}
+
+// Dump prints in map order — a maporder finding.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// Approx leaks exactness — a ratfloat finding.
+func Approx(r *big.Rat) float64 {
+	f, _ := r.Float64()
+	return f
+}

@@ -1,0 +1,36 @@
+// Package good is a clean fixture tree for the ttdclint smoke test: it
+// exercises the sanctioned idioms (Cmp comparison, sorted map iteration,
+// display via a ratF helper) and must produce zero findings.
+package good
+
+import (
+	"math/big"
+	"sort"
+)
+
+// Ratio compares exactly.
+func Ratio(a, b *big.Rat) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Cmp(b) == 0
+}
+
+// SortedKeys iterates a map with the collect-then-sort idiom.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ratF is the sanctioned display conversion.
+func ratF(r *big.Rat) float64 {
+	f, _ := r.Float64()
+	return f
+}
+
+// Display renders a rational for humans only.
+func Display(r *big.Rat) float64 { return ratF(r) }

@@ -228,7 +228,10 @@ func TestCloneIsDeepAndEqualBehaviour(t *testing.T) {
 }
 
 func TestStringRendering(t *testing.T) {
-	s, _ := New(3, [][]int{{0}}, [][]int{{1, 2}})
+	s, err := New(3, [][]int{{0}}, [][]int{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := s.String()
 	if !strings.Contains(out, "n=3") || !strings.Contains(out, "slot 0") {
 		t.Fatalf("String = %q", out)

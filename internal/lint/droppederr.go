@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DroppedErr guards the validity invariants of the schedule constructors
+// and decoders: core.New and friends reject malformed ⟨T,R⟩ inputs, and a
+// discarded error means an invalid schedule flows into analysis that
+// assumes Requirement 1-3 preconditions. It reports any call to a
+// package-level function of the root ttdc package ("repro") or
+// repro/internal/core whose trailing error result is discarded — either by
+// using the call as a statement (including go/defer) or by assigning the
+// error to the blank identifier.
+//
+// Example* documentation functions are exempt: they follow the godoc
+// idiom of eliding error handling for readability, and their // Output:
+// blocks already fail the test suite if a constructor misbehaves.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "errors from ttdc/core constructors and decoders must be handled",
+	Run:  runDroppedErr,
+}
+
+// droppedErrPackages are the import paths whose function errors must not
+// be discarded.
+var droppedErrPackages = map[string]bool{
+	"repro":               true,
+	"repro/internal/core": true,
+}
+
+func runDroppedErr(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	var file *ast.File
+	report := func(call *ast.CallExpr, fn *types.Func, how string) {
+		if strings.HasPrefix(enclosingFuncName(file, call.Pos()), "Example") {
+			return
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(call.Pos()),
+			Analyzer: "droppederr",
+			Message:  fmt.Sprintf("error from %s.%s %s; constructors and decoders reject invalid schedules", fn.Pkg().Name(), fn.Name(), how),
+		})
+	}
+	for _, f := range pkg.Files {
+		file = f
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, fn := guardedCall(pkg, n.X); fn != nil {
+					report(call, fn, "discarded by using the call as a statement")
+				}
+			case *ast.GoStmt:
+				if _, fn := guardedCall(pkg, n.Call); fn != nil {
+					report(n.Call, fn, "discarded by go statement")
+				}
+			case *ast.DeferStmt:
+				if _, fn := guardedCall(pkg, n.Call); fn != nil {
+					report(n.Call, fn, "discarded by defer statement")
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, fn := guardedCall(pkg, n.Rhs[0])
+				if fn == nil {
+					return true
+				}
+				// The error is the last result; flag when its LHS slot is
+				// the blank identifier.
+				if len(n.Lhs) == fn.Type().(*types.Signature).Results().Len() {
+					if id, ok := n.Lhs[len(n.Lhs)-1].(*ast.Ident); ok && id.Name == "_" {
+						report(call, fn, "assigned to _")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// guardedCall reports whether expr is a call to a package-level function
+// of a guarded package whose last result is error.
+func guardedCall(pkg *Package, expr ast.Expr) (*ast.CallExpr, *types.Func) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return nil, nil
+	}
+	fn := funcObj(pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || !droppedErrPackages[fn.Pkg().Path()] {
+		return nil, nil
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		return nil, nil
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return nil, nil
+	}
+	last := res.At(res.Len() - 1).Type()
+	if !isNamedError(last) {
+		return nil, nil
+	}
+	return call, fn
+}
+
+// isNamedError reports whether t is the built-in error interface type.
+func isNamedError(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	return ok && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}

@@ -1,0 +1,235 @@
+// Package lint is the repository's domain-specific static analyzer. It
+// mechanically enforces the two invariants the package documentation
+// promises and that no general-purpose tool checks:
+//
+//   - Reproducibility: every randomized result is derived from an explicit
+//     seed (no global math/rand state, no time-based seeding) and no output
+//     depends on Go's randomized map iteration order.
+//   - Exactness: the Theorem 2-4/7-9 throughput figures are *big.Rat values
+//     compared with Cmp and converted to float64 only inside the sanctioned
+//     display helpers.
+//
+// The driver (cmd/ttdclint) loads every package in the module using only
+// the standard library — go/parser for syntax, go/types for semantics, and
+// the go/importer source importer for standard-library dependencies — so
+// go.mod keeps its zero-dependency guarantee.
+//
+// Findings can be suppressed with a directive on, or on the line above,
+// the offending line:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// A directive without a written reason is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, addressed by position within the loader's
+// shared FileSet.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the canonical `file:line: analyzer: message` form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// An Analyzer inspects one type-checked package unit and reports findings.
+// Run must be deterministic: implementations walk the AST in source order
+// and never range over maps.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and //lint:ignore
+	// directives.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer protects.
+	Doc string
+	// Run reports raw findings for pkg; suppression is applied by Lint.
+	Run func(pkg *Package) []Diagnostic
+}
+
+// All is the full analyzer suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DroppedErr,
+		MapOrder,
+		RatCompare,
+		RatFloat,
+		SeededRand,
+	}
+}
+
+// Lint runs every analyzer over every package, applies //lint:ignore
+// suppressions, and returns the surviving findings sorted by position.
+// Malformed directives (missing analyzer name or reason) are reported as
+// findings of the pseudo-analyzer "ignore".
+func Lint(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := collectIgnores(pkg)
+		for _, d := range dirs {
+			if d.bad != "" {
+				out = append(out, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "ignore",
+					Message:  d.bad,
+				})
+			}
+		}
+		for _, a := range analyzers {
+			for _, diag := range a.Run(pkg) {
+				if !suppressed(dirs, diag) {
+					out = append(out, diag)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos       token.Position
+	analyzers []string
+	bad       string // non-empty if the directive is malformed
+}
+
+const ignorePrefix = "lint:ignore"
+
+// collectIgnores parses every //lint:ignore directive in the package.
+func collectIgnores(pkg *Package) []ignoreDirective {
+	var dirs []ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+				if !ok {
+					continue
+				}
+				d := ignoreDirective{pos: pkg.Fset.Position(c.Pos())}
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					d.bad = "lint:ignore directive missing analyzer name and reason"
+				case len(fields) == 1:
+					d.bad = fmt.Sprintf("lint:ignore %s has no written reason; every suppression must carry one", fields[0])
+				default:
+					d.analyzers = strings.Split(fields[0], ",")
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs
+}
+
+// suppressed reports whether diag is covered by a well-formed directive in
+// the same file, on the same line or the line immediately above.
+func suppressed(dirs []ignoreDirective, diag Diagnostic) bool {
+	for _, d := range dirs {
+		if d.bad != "" || d.pos.Filename != diag.Pos.Filename {
+			continue
+		}
+		if d.pos.Line != diag.Pos.Line && d.pos.Line != diag.Pos.Line-1 {
+			continue
+		}
+		for _, name := range d.analyzers {
+			if name == diag.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- shared type helpers used by the analyzers ---
+
+// isBigRatPtr reports whether t is *math/big.Rat.
+func isBigRatPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	return ok && isNamed(p.Elem(), "math/big", "Rat")
+}
+
+// isNamed reports whether t (after unaliasing) is the named type path.name.
+func isNamed(t types.Type, path, name string) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == path && obj.Name() == name
+}
+
+// funcObj resolves the called package-level function (or method) behind a
+// call expression, or nil.
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether obj is the package-level function path.name.
+func isPkgFunc(obj types.Object, path, name string) bool {
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == path && fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// enclosingFuncName returns the name of the innermost function declaration
+// in f whose body spans pos, or "".
+func enclosingFuncName(f *ast.File, pos token.Pos) string {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if fd.Body.Pos() <= pos && pos < fd.Body.End() {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}
+
+// enclosingFuncBody returns the body of the innermost function declaration
+// in f spanning pos, or nil.
+func enclosingFuncBody(f *ast.File, pos token.Pos) *ast.BlockStmt {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if fd.Body.Pos() <= pos && pos < fd.Body.End() {
+			return fd.Body
+		}
+	}
+	return nil
+}

@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked unit: either a package (its compile files
+// plus in-package test files) or the external _test package of a directory.
+type Package struct {
+	// Path is the import path ("repro/internal/core", or with a "_test"
+	// suffix for external test packages).
+	Path string
+	// Dir is the absolute directory the files were read from.
+	Dir string
+	// Fset is the loader's shared file set; all Diagnostic positions
+	// resolve through it.
+	Fset *token.FileSet
+	// Files are the parsed files of the unit, sorted by file name.
+	Files []*ast.File
+	// Types and Info carry the go/types results for the unit.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of the enclosing module using
+// only the standard library. Imports inside the module are resolved
+// against the module root; everything else is delegated to the go/importer
+// source importer, which type-checks the standard library from GOROOT.
+type Loader struct {
+	// Module is the module path from go.mod.
+	Module string
+	// Root is the absolute module root directory.
+	Root string
+	// Fset is shared by every parse, including the source importer's.
+	Fset *token.FileSet
+
+	std     types.ImporterFrom
+	cache   map[string]*types.Package // import path -> checked (non-test files only)
+	loading map[string]bool
+}
+
+// NewLoader locates the enclosing module by walking up from dir (or the
+// working directory if dir is "") to the nearest go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return nil, err
+		}
+		dir = wd
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	module := modulePath(string(data))
+	if module == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not implement ImporterFrom")
+	}
+	return &Loader{
+		Module:  module,
+		Root:    root,
+		Fset:    fset,
+		std:     std,
+		cache:   map[string]*types.Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// Import resolves an import path for the type checker: module-internal
+// paths are checked from source under Root, anything else goes to the
+// source importer. Loader itself implements types.Importer so checked
+// packages can import each other.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	dir, internal := l.dirFor(path)
+	if !internal {
+		return l.std.ImportFrom(path, l.Root, 0)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, err := l.parseDir(dir, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.Fset, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// dirFor maps a module-internal import path to its directory.
+func (l *Loader) dirFor(path string) (dir string, internal bool) {
+	if path == l.Module {
+		return l.Root, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.Module+"/"); ok {
+		return filepath.Join(l.Root, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// parseDir parses the Go files of dir, sorted by name. With tests false it
+// keeps only compile files; with tests true it returns compile files,
+// in-package test files, and external test files as three slices appended
+// in that order by the caller via splitting on package name.
+func (l *Loader) parseDir(dir string, tests bool) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// LoadDir loads the package in dir for linting. It returns up to two
+// units: the package itself (compile files plus in-package test files when
+// tests is true) and, when present and tests is true, the external _test
+// package. Directories with no Go files return no units and no error.
+func (l *Loader) LoadDir(dir string, tests bool) ([]*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	all, err := l.parseDir(abs, tests)
+	if err != nil {
+		return nil, err
+	}
+	if len(all) == 0 {
+		return nil, nil
+	}
+	path := l.pathFor(abs)
+
+	// Split into the primary unit and the external test package by
+	// package name: "foo_test" files form their own unit.
+	var primary, xtest []*ast.File
+	for _, f := range all {
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			xtest = append(xtest, f)
+		} else {
+			primary = append(primary, f)
+		}
+	}
+	var units []*Package
+	if len(primary) > 0 {
+		u, err := l.check(path, abs, primary)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	if len(xtest) > 0 {
+		u, err := l.check(path+"_test", abs, xtest)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// pathFor derives the import path of an absolute directory inside (or
+// outside) the module root.
+func (l *Loader) pathFor(abs string) string {
+	rel, err := filepath.Rel(l.Root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(abs)
+	}
+	if rel == "." {
+		return l.Module
+	}
+	return l.Module + "/" + filepath.ToSlash(rel)
+}
+
+// check type-checks one unit with full Info for the analyzers.
+func (l *Loader) check(path, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// LoadTree loads every package directory under root (which must be inside
+// the module), skipping testdata, hidden, and underscore directories.
+func (l *Loader) LoadTree(root string, tests bool) ([]*Package, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.WalkDir(abs, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != abs && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		units, err := l.LoadDir(dir, tests)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, units...)
+	}
+	return pkgs, nil
+}

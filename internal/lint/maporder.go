@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder protects bit-for-bit reproducibility of rendered output: Go
+// randomizes map iteration order, so a `range` over a map whose body
+// appends to a slice or writes output produces a different byte stream on
+// every run. It reports such loops and requires iterating sorted keys.
+//
+// The sanctioned fix is itself a map range — collect the keys, then sort:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Ints(keys)
+//
+// so an append inside the body is NOT reported when the appended-to slice
+// is passed to a sort or slices call later in the same function.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "no order-sensitive work inside range-over-map; iterate sorted keys",
+	Run:  runMapOrder,
+}
+
+// outputMethods are method names whose call inside a map range leaks
+// iteration order into rendered output.
+var outputMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"AddRow": true, "Encode": true,
+}
+
+// outputFuncs are package-level printers with the same effect, keyed by
+// "pkgpath.Name".
+var outputFuncs = map[string]bool{
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+	"io.WriteString": true,
+}
+
+func runMapOrder(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			xt := pkg.Info.Types[rng.X].Type
+			if xt == nil {
+				return true
+			}
+			if _, isMap := xt.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if d, found := orderSensitiveOp(pkg, file, rng); found {
+				diags = append(diags, d)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// orderSensitiveOp scans the body of a range-over-map for the first
+// operation that leaks iteration order.
+func orderSensitiveOp(pkg *Package, file *ast.File, rng *ast.RangeStmt) (Diagnostic, bool) {
+	var diag Diagnostic
+	found := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Builtin append: order-sensitive unless the slice is local to
+		// one iteration or is sorted after the loop.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+				if !loopLocalTarget(pkg, call, rng) && !sortedAfter(pkg, file, call, rng) {
+					found = true
+					diag = Diagnostic{
+						Pos:      pkg.Fset.Position(call.Pos()),
+						Analyzer: "maporder",
+						Message:  "append inside range over map depends on iteration order; sort the slice afterwards or iterate sorted keys",
+					}
+				}
+				return true
+			}
+		}
+		if fn := funcObj(pkg.Info, call); fn != nil {
+			sig := fn.Type().(*types.Signature)
+			if sig.Recv() != nil && outputMethods[fn.Name()] {
+				found = true
+				diag = Diagnostic{
+					Pos:      pkg.Fset.Position(call.Pos()),
+					Analyzer: "maporder",
+					Message:  fmt.Sprintf("%s call inside range over map makes output depend on iteration order; iterate sorted keys", fn.Name()),
+				}
+			} else if sig.Recv() == nil && fn.Pkg() != nil && outputFuncs[fn.Pkg().Path()+"."+fn.Name()] {
+				found = true
+				diag = Diagnostic{
+					Pos:      pkg.Fset.Position(call.Pos()),
+					Analyzer: "maporder",
+					Message:  fmt.Sprintf("%s.%s call inside range over map makes output depend on iteration order; iterate sorted keys", fn.Pkg().Name(), fn.Name()),
+				}
+			}
+		}
+		return true
+	})
+	return diag, found
+}
+
+// loopLocalTarget reports whether the append target is declared inside the
+// range body itself: such a slice is rebuilt on every iteration, so its
+// contents cannot depend on the order the map keys arrive in.
+func loopLocalTarget(pkg *Package, appendCall *ast.CallExpr, rng *ast.RangeStmt) bool {
+	if len(appendCall.Args) == 0 {
+		return false
+	}
+	target, ok := ast.Unparen(appendCall.Args[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.Uses[target]
+	if obj == nil {
+		obj = pkg.Info.Defs[target]
+	}
+	return obj != nil && rng.Body.Pos() <= obj.Pos() && obj.Pos() < rng.Body.End()
+}
+
+// sortedAfter reports whether the slice receiving this append is passed to
+// a sort or slices function after the range loop in the same enclosing
+// function — the sanctioned collect-then-sort idiom.
+func sortedAfter(pkg *Package, file *ast.File, appendCall *ast.CallExpr, rng *ast.RangeStmt) bool {
+	if len(appendCall.Args) == 0 {
+		return false
+	}
+	target, ok := ast.Unparen(appendCall.Args[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.Uses[target]
+	if obj == nil {
+		return false
+	}
+	body := enclosingFuncBody(file, rng.Pos())
+	if body == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := funcObj(pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+					sorted = true
+					return false
+				}
+				return !sorted
+			})
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// RatCompare protects the exactness of the Theorem 2-4 throughput figures:
+// comparing two *big.Rat values with == or != compares the pointers, not
+// the rationals, so equal values in different allocations silently compare
+// unequal. It reports every ==/!= whose operands are both *big.Rat and
+// requires Cmp instead. Nil checks (r == nil) are untouched — the nil
+// literal is not a *big.Rat operand.
+var RatCompare = &Analyzer{
+	Name: "ratcompare",
+	Doc:  "*big.Rat values must be compared with Cmp, not ==/!=",
+	Run:  runRatCompare,
+}
+
+func runRatCompare(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := pkg.Info.Types[be.X].Type, pkg.Info.Types[be.Y].Type
+			if xt == nil || yt == nil || !isBigRatPtr(xt) || !isBigRatPtr(yt) {
+				return true
+			}
+			fix := ".Cmp(y) == 0"
+			if be.Op == token.NEQ {
+				fix = ".Cmp(y) != 0"
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(be.OpPos),
+				Analyzer: "ratcompare",
+				Message:  "*big.Rat compared with " + be.Op.String() + " compares pointers, not values; use x" + fix,
+			})
+			return true
+		})
+	}
+	return diags
+}

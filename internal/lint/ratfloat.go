@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// RatFloat keeps the exact rational arithmetic exact: Rat.Float64 rounds,
+// so a stray conversion in an analysis path silently turns a Theorem 2-4
+// figure into an approximation. Conversions are allowed only inside the
+// sanctioned display helpers — a function declaration named RatFloat or
+// ratF — which by repository convention are used for rendering and
+// float-threshold checks, never for further arithmetic.
+var RatFloat = &Analyzer{
+	Name: "ratfloat",
+	Doc:  "Rat.Float64 only inside the sanctioned RatFloat/ratF display helpers",
+	Run:  runRatFloat,
+}
+
+// sanctionedRatFloat names the helper functions allowed to call
+// Rat.Float64 directly.
+var sanctionedRatFloat = map[string]bool{"RatFloat": true, "ratF": true}
+
+func runRatFloat(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Float64" {
+				return true
+			}
+			rt := pkg.Info.Types[sel.X].Type
+			if rt == nil || !(isBigRatPtr(rt) || isNamed(rt, "math/big", "Rat")) {
+				return true
+			}
+			if sanctionedRatFloat[enclosingFuncName(f, call.Pos())] {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(call.Pos()),
+				Analyzer: "ratfloat",
+				Message:  "lossy Rat.Float64 outside a sanctioned helper; use RatFloat/ratF so exactness cannot leak into analysis",
+			})
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SeededRand enforces the reproducibility contract of internal/stats: every
+// randomized component takes an explicit seeded *stats.RNG, so experiment
+// tables are bit-for-bit reproducible. It reports
+//
+//   - any use of a math/rand top-level function that reads or writes the
+//     package-global generator (rand.Intn, rand.Seed, rand.Shuffle, ...);
+//     locally constructed generators (rand.New(rand.NewSource(seed))) are
+//     allowed because they are explicitly seeded;
+//   - any use of a math/rand/v2 top-level function: the v2 global generator
+//     cannot be seeded at all, so every such call is irreproducible;
+//   - time-based seeding — a time.Now() call inside the arguments of
+//     rand.Seed, rand.NewSource, or any function named NewRNG.
+//
+// internal/stats itself is exempt: it is the one place allowed to define
+// what randomness means.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "randomness must flow through an explicitly seeded generator",
+	Run:  runSeededRand,
+}
+
+// globalRandV1 lists the math/rand top-level functions backed by the
+// package-global source. Constructors (New, NewSource, NewZipf) are absent:
+// they build caller-seeded generators.
+var globalRandV1 = map[string]bool{
+	"Seed": true, "Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "Perm": true, "Shuffle": true,
+	"NormFloat64": true, "ExpFloat64": true, "Read": true,
+}
+
+// localRandV2 lists the math/rand/v2 top-level constructors that do NOT
+// touch the unseedable global generator.
+var localRandV2 = map[string]bool{
+	"New": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func runSeededRand(pkg *Package) []Diagnostic {
+	if strings.HasPrefix(pkg.Path, "repro/internal/stats") {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				fn, ok := pkg.Info.Uses[n].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "math/rand":
+					if globalRandV1[fn.Name()] {
+						diags = append(diags, Diagnostic{
+							Pos:      pkg.Fset.Position(n.Pos()),
+							Analyzer: "seededrand",
+							Message:  fmt.Sprintf("rand.%s uses the global math/rand source; take a seeded *stats.RNG instead", fn.Name()),
+						})
+					}
+				case "math/rand/v2":
+					if !localRandV2[fn.Name()] {
+						diags = append(diags, Diagnostic{
+							Pos:      pkg.Fset.Position(n.Pos()),
+							Analyzer: "seededrand",
+							Message:  fmt.Sprintf("rand/v2.%s uses the unseedable global generator; take a seeded *stats.RNG instead", fn.Name()),
+						})
+					}
+				}
+			case *ast.CallExpr:
+				if d, ok := timeSeededCall(pkg, n); ok {
+					diags = append(diags, d)
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// timeSeededCall reports a seed-taking call (rand.Seed, rand.NewSource, or
+// any function named NewRNG) whose arguments contain a time.Now() call.
+func timeSeededCall(pkg *Package, call *ast.CallExpr) (Diagnostic, bool) {
+	fn := funcObj(pkg.Info, call)
+	if fn == nil {
+		return Diagnostic{}, false
+	}
+	seeder := fn.Name() == "NewRNG" ||
+		(fn.Pkg() != nil && fn.Pkg().Path() == "math/rand" && (fn.Name() == "Seed" || fn.Name() == "NewSource"))
+	if !seeder {
+		return Diagnostic{}, false
+	}
+	for _, arg := range call.Args {
+		var found ast.Node
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			if c, ok := n.(*ast.CallExpr); ok {
+				if inner := funcObj(pkg.Info, c); inner != nil && isPkgFunc(inner, "time", "Now") {
+					found = c
+					return false
+				}
+			}
+			return true
+		})
+		if found != nil {
+			return Diagnostic{
+				Pos:      pkg.Fset.Position(found.Pos()),
+				Analyzer: "seededrand",
+				Message:  fmt.Sprintf("%s seeded from time.Now(); derive seeds from configuration so runs are reproducible", fn.Name()),
+			}, true
+		}
+	}
+	return Diagnostic{}, false
+}

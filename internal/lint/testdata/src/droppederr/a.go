@@ -1,0 +1,32 @@
+// Fixture for the droppederr analyzer: discarding the error of a core
+// constructor is a finding; handled errors, unguarded packages (fmt), and
+// Example documentation functions are the near-misses.
+package droppederr
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func bad() {
+	core.NonSleeping(2, [][]int{{0}, {1}})                    // want `error from core\.NonSleeping discarded by using the call as a statement`
+	s, _ := core.New(2, [][]int{{0}, {1}}, [][]int{{1}, {0}}) // want `error from core\.New assigned to _`
+	_ = s
+}
+
+func good() error {
+	s, err := core.New(2, [][]int{{0}, {1}}, [][]int{{1}, {0}})
+	if err != nil {
+		return err
+	}
+	fmt.Println(s.L())
+	return nil
+}
+
+// ExampleNonSleeping is the near-miss for the godoc idiom: documentation
+// examples may elide error handling.
+func ExampleNonSleeping() {
+	s, _ := core.NonSleeping(2, [][]int{{0}, {1}})
+	_ = s
+}

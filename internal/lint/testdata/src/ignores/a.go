@@ -1,0 +1,26 @@
+// Fixture for //lint:ignore handling, exercised by TestIgnoreDirectives
+// with in-code assertions (the malformed directive cannot carry a // want
+// comment on its own line).
+package ignores
+
+import "math/big"
+
+// missingReason carries a malformed directive: no written reason, so the
+// directive itself is a finding and does NOT suppress the comparison.
+func missingReason(a, b *big.Rat) bool {
+	//lint:ignore ratcompare
+	return a == b
+}
+
+// justified carries a well-formed suppression covering the finding.
+func justified(a, b *big.Rat) bool {
+	//lint:ignore ratcompare pointer identity is exactly what this check wants
+	return a == b
+}
+
+// wrongAnalyzer suppresses a different analyzer, so the ratcompare finding
+// survives.
+func wrongAnalyzer(a, b *big.Rat) bool {
+	//lint:ignore maporder this reason names the wrong analyzer
+	return a == b
+}

@@ -1,0 +1,68 @@
+// Fixture for the maporder analyzer: appends and output calls inside a
+// range over a map are findings; the collect-then-sort idiom, iteration-
+// local slices, and commutative accumulation are the near-misses.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func bad(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // want `append inside range over map depends on iteration order`
+	}
+	return out
+}
+
+func badPrint(m map[int]string) {
+	for k := range m {
+		fmt.Println(k) // want `fmt\.Println call inside range over map`
+	}
+}
+
+func badBuilder(m map[int]string, b *strings.Builder) {
+	for _, v := range m {
+		b.WriteString(v) // want `WriteString call inside range over map`
+	}
+}
+
+// goodSorted is the sanctioned collect-then-sort idiom: the appended slice
+// is sorted after the loop, so iteration order cannot leak.
+func goodSorted(m map[int]string) []string {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// goodLocal appends to a slice declared inside the loop body: it is
+// rebuilt per iteration, so map order cannot affect its contents.
+func goodLocal(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var squares []int
+		for _, v := range vs {
+			squares = append(squares, v*v)
+		}
+		total += len(squares)
+	}
+	return total
+}
+
+// goodCommutative accumulates order-independently.
+func goodCommutative(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

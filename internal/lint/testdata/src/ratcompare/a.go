@@ -1,0 +1,20 @@
+// Fixture for the ratcompare analyzer: ==/!= between two *big.Rat values
+// is a finding; comparisons against the nil literal are the near-miss.
+package ratcompare
+
+import "math/big"
+
+func bad(a, b *big.Rat) bool {
+	if a == b { // want `\*big\.Rat compared with == compares pointers`
+		return true
+	}
+	return a != b // want `\*big\.Rat compared with != compares pointers`
+}
+
+// good is the near-miss: nil checks and Cmp are the sanctioned forms.
+func good(a, b *big.Rat) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	return a.Cmp(b) == 0
+}

@@ -1,0 +1,30 @@
+// Fixture for the ratfloat analyzer: Rat.Float64 outside the sanctioned
+// RatFloat/ratF helpers is a finding; the helpers themselves and
+// big.Float's unrelated Float64 method are the near-misses.
+package ratfloat
+
+import "math/big"
+
+func bad(r *big.Rat) float64 {
+	f, _ := r.Float64() // want `lossy Rat\.Float64 outside a sanctioned helper`
+	return f
+}
+
+// RatFloat is a sanctioned display helper and may convert.
+func RatFloat(r *big.Rat) float64 {
+	f, _ := r.Float64()
+	return f
+}
+
+// ratF is the package-local sanctioned spelling.
+func ratF(r *big.Rat) float64 {
+	f, _ := r.Float64()
+	return f
+}
+
+// good is the near-miss: big.Float.Float64 is a different method and must
+// not be reported.
+func good(x *big.Float) float64 {
+	f, _ := x.Float64()
+	return f
+}

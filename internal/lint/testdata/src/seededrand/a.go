@@ -1,0 +1,38 @@
+// Fixture for the seededrand analyzer: global math/rand state and
+// time-based seeding are findings; explicitly seeded local generators are
+// the sanctioned near-miss.
+package seededrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func bad() int {
+	rand.Seed(42)        // want `rand\.Seed uses the global math/rand source`
+	x := rand.Intn(10)   // want `rand\.Intn uses the global math/rand source`
+	y := randv2.IntN(10) // want `rand/v2\.IntN uses the unseedable global generator`
+	return x + y
+}
+
+func timeSeeded() *stats.RNG {
+	src := rand.NewSource(time.Now().UnixNano()) // want `NewSource seeded from time\.Now`
+	_ = src
+	return stats.NewRNG(uint64(time.Now().UnixNano())) // want `NewRNG seeded from time\.Now`
+}
+
+// good is the near-miss: rand.New(rand.NewSource(seed)) and stats.NewRNG
+// are explicitly seeded, so neither may be reported.
+func good() int {
+	r := rand.New(rand.NewSource(7))
+	rng := stats.NewRNG(7)
+	return r.Intn(10) + rng.Intn(10)
+}
+
+func ignored() {
+	//lint:ignore seededrand fixture demonstrating a justified suppression
+	rand.Shuffle(0, func(i, j int) {})
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/cff"
+	"repro/internal/combin"
 	"repro/internal/core"
 	"repro/internal/sim"
 )
@@ -255,9 +256,12 @@ func evaluate(s *core.Schedule, base string, alphaT, alphaR, n, d int,
 			p.LifetimeYears, req.MinLifetimeYears)
 	}
 	if req.MinAvgThroughput > 0 {
-		avgF, _ := p.AvgThroughput.Float64()
-		if avgF < req.MinAvgThroughput {
-			return p, fmt.Sprintf("Thr^ave %.6f below floor %.6f", avgF, req.MinAvgThroughput)
+		// Compare exactly: SetFloat64 lifts the float floor into the
+		// rational domain instead of rounding the exact figure down to it.
+		floor := new(big.Rat).SetFloat64(req.MinAvgThroughput)
+		if floor != nil && p.AvgThroughput.Cmp(floor) < 0 {
+			return p, fmt.Sprintf("Thr^ave %.6f below floor %.6f",
+				combin.RatFloat(p.AvgThroughput), req.MinAvgThroughput)
 		}
 	}
 	return p, ""

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"math/big"
 	"strings"
 	"testing"
 
@@ -74,9 +75,8 @@ func TestThroughputConstraintBinds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f, _ := p.AvgThroughput.Float64()
-	if f < 0.1 {
-		t.Fatalf("throughput floor violated: %.4f", f)
+	if p.AvgThroughput.Cmp(big.NewRat(1, 10)) < 0 {
+		t.Fatalf("throughput floor violated: %s", p.AvgThroughput.RatString())
 	}
 }
 

@@ -325,7 +325,10 @@ func TestDefaultEnergyOrdering(t *testing.T) {
 func BenchmarkSaturationPoly9(b *testing.B) {
 	g := topology.Regularish(9, 2)
 	fam, _ := cff.PolynomialFor(9, 2)
-	s, _ := core.ScheduleFromFamily(fam.L, fam.Sets)
+	s, err := core.ScheduleFromFamily(fam.L, fam.Sets)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := RunSaturation(g, s, 1, DefaultEnergy()); err != nil {
@@ -337,7 +340,10 @@ func BenchmarkSaturationPoly9(b *testing.B) {
 func BenchmarkConvergecastLine10(b *testing.B) {
 	g := topology.Line(10)
 	fam, _ := cff.Identity(10)
-	s, _ := core.ScheduleFromFamily(fam.L, fam.Sets)
+	s, err := core.ScheduleFromFamily(fam.L, fam.Sets)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := RunConvergecast(g, s, ConvergecastConfig{Sink: 0, Rate: 0.01, Frames: 20, Seed: uint64(i)}); err != nil {
