@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build lint test race fuzz bench serve
+.PHONY: check vet build lint test race fuzz bench benchall serve
 
 check: vet build lint test race
 
@@ -37,7 +37,16 @@ fuzz:
 	$(GO) test -fuzz FuzzScheduleFromSlotSets -fuzztime 10s .
 	$(GO) test -fuzz FuzzCacheGet -fuzztime 10s ./internal/schedcache
 
+# Engine + cache benchmarks with -benchmem, captured as the
+# machine-readable perf trajectory in BENCH_engine.json (includes the
+# serial-vs-parallel sweep wall clock via the Workers1/WorkersMax pairs).
+# Non-gating: runs alongside `make check`, not inside it.
 bench:
+	$(GO) test -run xxx -bench . -benchmem -benchtime 3x ./internal/engine ./internal/schedcache \
+		| $(GO) run ./cmd/ttdcbench -o BENCH_engine.json
+
+# One pass over every package's benchmarks, for spot checks.
+benchall:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 serve:

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCampaign(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testDoc = `{"name":"smoke","n":[9,16],"d":[2],"duty":[{"alphaT":2,"alphaR":4}],` +
+	`"workload":"saturation","frames":2,"replications":2,"seed":7}`
+
+func TestTableOutputDeterministicAcrossWorkers(t *testing.T) {
+	path := writeCampaign(t, testDoc)
+	var one, eight bytes.Buffer
+	if err := run([]string{"-campaign", path, "-workers", "1"}, &one, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-campaign", path, "-workers", "8"}, &eight, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != eight.String() {
+		t.Errorf("workers=8 output differs from workers=1:\n%s\n--- vs ---\n%s", eight.String(), one.String())
+	}
+	if !strings.Contains(one.String(), "polynomial/n9/D2/aT2-aR4/regular/saturation/r0") {
+		t.Errorf("missing job row in %q", one.String())
+	}
+}
+
+func TestFormats(t *testing.T) {
+	path := writeCampaign(t, `{"n":[9],"d":[2],"workload":"analysis"}`)
+	var csv, jsonl bytes.Buffer
+	if err := run([]string{"-campaign", path, "-format", "csv"}, &csv, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "job,status,seed") {
+		t.Errorf("csv header missing in %q", csv.String())
+	}
+	if err := run([]string{"-campaign", path, "-format", "jsonl"}, &jsonl, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonl.String(), `"status":"ok"`) || !strings.Contains(jsonl.String(), `"avgThroughput"`) {
+		t.Errorf("jsonl record missing fields: %q", jsonl.String())
+	}
+	if err := run([]string{"-campaign", path, "-format", "yaml"}, &csv, os.Stderr); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestJournalResumeReplays(t *testing.T) {
+	path := writeCampaign(t, testDoc)
+	journal := filepath.Join(t.TempDir(), "batch.jsonl")
+	var first, second bytes.Buffer
+	if err := run([]string{"-campaign", path, "-journal", journal}, &first, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	var errOut bytes.Buffer
+	if err := run([]string{"-campaign", path, "-journal", journal}, &second, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Error("replayed output differs from original")
+	}
+	if !strings.Contains(errOut.String(), "4 resumed") {
+		t.Errorf("expected full resume, got %q", errOut.String())
+	}
+}
+
+func TestBadCampaignRejected(t *testing.T) {
+	path := writeCampaign(t, `{"n":[9],"d":[2],"workload":"teleport"}`)
+	var out bytes.Buffer
+	if err := run([]string{"-campaign", path}, &out, os.Stderr); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+	if err := run([]string{"-campaign", filepath.Join(t.TempDir(), "nope.json")}, &out, os.Stderr); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

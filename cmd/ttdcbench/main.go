@@ -1,0 +1,176 @@
+// Command ttdcbench turns `go test -bench -benchmem` output into the
+// machine-readable benchmark file that tracks the repository's perf
+// trajectory (BENCH_engine.json). It parses the standard benchmark lines
+// from stdin, and derives serial-vs-parallel speedups from benchmark pairs
+// named <Prefix>Workers1 / <Prefix>WorkersMax — the engine's sweep and
+// campaign wall-clock comparison.
+//
+// Usage (see the Makefile bench target):
+//
+//	go test -run xxx -bench . -benchmem ./internal/engine | ttdcbench -o BENCH_engine.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp,omitempty"`
+	AllocsPerOp float64 `json:"allocsPerOp,omitempty"`
+}
+
+// Speedup is one derived Workers1/WorkersMax wall-clock ratio.
+type Speedup struct {
+	Name     string  `json:"name"`
+	SerialNs float64 `json:"serialNs"`
+	MaxNs    float64 `json:"maxNs"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// File is the BENCH_engine.json document.
+type File struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Speedups   []Speedup   `json:"speedups,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ttdcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ttdcbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "output file (empty = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	doc, err := parse(stdin)
+	if err != nil {
+		return err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin (is -bench running?)")
+	}
+	payload, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	payload = append(payload, '\n')
+	if *out == "" {
+		_, err = stdout.Write(payload)
+		return err
+	}
+	if err := os.WriteFile(*out, payload, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "ttdcbench: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+	return nil
+}
+
+func parse(r io.Reader) (*File, error) {
+	doc := &File{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	doc.Speedups = deriveSpeedups(doc.Benchmarks)
+	return doc, nil
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkSweepWorkers1-8   3   423707670 ns/op   25939616 B/op   743498 allocs/op
+//
+// The -N GOMAXPROCS suffix (absent on single-proc runs) is stripped.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	ns, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters, NsPerOp: ns}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	return b, true
+}
+
+// deriveSpeedups pairs <Prefix>Workers1 with <Prefix>WorkersMax and
+// records serial/parallel wall-clock ratios, preserving input order.
+func deriveSpeedups(benches []Benchmark) []Speedup {
+	var out []Speedup
+	for _, b := range benches {
+		prefix, ok := strings.CutSuffix(b.Name, "Workers1")
+		if !ok {
+			continue
+		}
+		for _, m := range benches {
+			if m.Name == prefix+"WorkersMax" && m.NsPerOp > 0 {
+				out = append(out, Speedup{
+					Name:     strings.TrimPrefix(prefix, "Benchmark"),
+					SerialNs: b.NsPerOp,
+					MaxNs:    m.NsPerOp,
+					Speedup:  b.NsPerOp / m.NsPerOp,
+				})
+			}
+		}
+	}
+	return out
+}

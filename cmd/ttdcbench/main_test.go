@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/engine
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCampaignWorkers1   	       2	  11346089 ns/op	  588560 B/op	   11269 allocs/op
+BenchmarkCampaignWorkersMax-8 	       2	   5673044 ns/op	  571296 B/op	   11115 allocs/op
+BenchmarkSweepWorkers1      	       1	 423707670 ns/op	25939616 B/op	  743498 allocs/op
+BenchmarkSweepWorkersMax    	       1	 211853835 ns/op	25932320 B/op	  743456 allocs/op
+BenchmarkCacheWarm          	50000000	        34.1 ns/op
+PASS
+ok  	repro/internal/engine	0.862s
+`
+
+func TestParseAndDerive(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(nil, strings.NewReader(sample), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	var doc File
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Errorf("header = %+v", doc)
+	}
+	if len(doc.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(doc.Benchmarks))
+	}
+	// The -8 suffix is stripped; memory columns survive.
+	if doc.Benchmarks[1].Name != "BenchmarkCampaignWorkersMax" || doc.Benchmarks[1].BytesPerOp != 571296 {
+		t.Errorf("benchmarks[1] = %+v", doc.Benchmarks[1])
+	}
+	// Fractional ns/op parses.
+	if doc.Benchmarks[4].NsPerOp != 34.1 || doc.Benchmarks[4].Iterations != 50000000 {
+		t.Errorf("benchmarks[4] = %+v", doc.Benchmarks[4])
+	}
+	if len(doc.Speedups) != 2 {
+		t.Fatalf("speedups = %+v", doc.Speedups)
+	}
+	if doc.Speedups[0].Name != "Campaign" || doc.Speedups[0].Speedup < 1.99 || doc.Speedups[0].Speedup > 2.01 {
+		t.Errorf("speedups[0] = %+v", doc.Speedups[0])
+	}
+	if doc.Speedups[1].Name != "Sweep" {
+		t.Errorf("speedups[1] = %+v", doc.Speedups[1])
+	}
+}
+
+func TestNoBenchmarksErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(nil, strings.NewReader("PASS\nok x 0.1s\n"), &out, &errOut); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}

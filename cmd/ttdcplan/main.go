@@ -12,23 +12,35 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	ttdc "repro"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ttdcplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ttdcplan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n        = flag.Int("n", 25, "maximum number of nodes")
-		d        = flag.Int("D", 2, "maximum node degree")
-		maxLat   = flag.Float64("max-hop-latency", 0, "worst-case per-hop wait cap, seconds (0 = unconstrained)")
-		minLife  = flag.Float64("min-lifetime", 0, "first-death lifetime floor, years (0 = unconstrained)")
-		minThr   = flag.Float64("min-throughput", 0, "average worst-case throughput floor (0 = unconstrained)")
-		battery  = flag.Float64("battery", 20000, "battery capacity, joules")
-		balanced = flag.Bool("balanced", false, "use the balanced-energy division")
-		emit     = flag.Bool("emit", false, "print the chosen schedule as JSON (for piping) instead of the summary")
+		n        = fs.Int("n", 25, "maximum number of nodes")
+		d        = fs.Int("D", 2, "maximum node degree")
+		maxLat   = fs.Float64("max-hop-latency", 0, "worst-case per-hop wait cap, seconds (0 = unconstrained)")
+		minLife  = fs.Float64("min-lifetime", 0, "first-death lifetime floor, years (0 = unconstrained)")
+		minThr   = fs.Float64("min-throughput", 0, "average worst-case throughput floor (0 = unconstrained)")
+		battery  = fs.Float64("battery", 20000, "battery capacity, joules")
+		balanced = fs.Bool("balanced", false, "use the balanced-energy division")
+		emit     = fs.Bool("emit", false, "print the chosen schedule as JSON (for piping) instead of the summary")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	p, err := ttdc.PlanBest(ttdc.Requirements{
 		MaxNodes:             *n,
@@ -40,30 +52,26 @@ func main() {
 		Balanced:             *balanced,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ttdcplan:", err)
-		os.Exit(1)
+		return err
 	}
 	if *emit {
-		if err := ttdc.EncodeSchedule(os.Stdout, p.Schedule); err != nil {
-			fmt.Fprintln(os.Stderr, "ttdcplan:", err)
-			os.Exit(1)
-		}
-		return
+		return ttdc.EncodeSchedule(stdout, p.Schedule)
 	}
-	fmt.Printf("RECOMMENDED: %s", p.Base)
+	fmt.Fprintf(stdout, "RECOMMENDED: %s", p.Base)
 	if p.AlphaT > 0 {
-		fmt.Printf(" + Construct(αT=%d, αR=%d)", p.AlphaT, p.AlphaR)
+		fmt.Fprintf(stdout, " + Construct(αT=%d, αR=%d)", p.AlphaT, p.AlphaR)
 	} else {
-		fmt.Printf(" (non-sleeping)")
+		fmt.Fprintf(stdout, " (non-sleeping)")
 	}
-	fmt.Println()
-	fmt.Printf("  frame length      %d slots\n", p.Schedule.L())
-	fmt.Printf("  active fraction   %.3f\n", p.ActiveFraction)
-	fmt.Printf("  hop latency       %.3f s worst case\n", p.HopLatencySeconds)
-	fmt.Printf("  lifetime          %.2f years (first death, %.0f J battery)\n", p.LifetimeYears, *battery)
-	fmt.Printf("  Thr^ave           %s\n", p.AvgThroughput.RatString())
-	fmt.Printf("  Thr^min           %s\n", p.MinThroughput.RatString())
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "  frame length      %d slots\n", p.Schedule.L())
+	fmt.Fprintf(stdout, "  active fraction   %.3f\n", p.ActiveFraction)
+	fmt.Fprintf(stdout, "  hop latency       %.3f s worst case\n", p.HopLatencySeconds)
+	fmt.Fprintf(stdout, "  lifetime          %.2f years (first death, %.0f J battery)\n", p.LifetimeYears, *battery)
+	fmt.Fprintf(stdout, "  Thr^ave           %s\n", p.AvgThroughput.RatString())
+	fmt.Fprintf(stdout, "  Thr^min           %s\n", p.MinThroughput.RatString())
 	for _, r := range p.Rationale {
-		fmt.Printf("  • %s\n", r)
+		fmt.Fprintf(stdout, "  • %s\n", r)
 	}
+	return nil
 }

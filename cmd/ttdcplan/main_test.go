@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	ttdc "repro"
+)
+
+func TestRunSummary(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-n", "9", "-D", "2"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"RECOMMENDED:", "frame length", "Thr^ave", "Thr^min"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunEmitPipesIntoDecode(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-n", "9", "-D", "2", "-emit"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ttdc.DecodeSchedule(&out)
+	if err != nil {
+		t.Fatalf("emitted schedule does not decode: %v", err)
+	}
+	if s.N() < 9 {
+		t.Errorf("emitted schedule covers n=%d, want >= 9", s.N())
+	}
+}
+
+func TestRunInfeasibleRequirements(t *testing.T) {
+	var out, errOut bytes.Buffer
+	// A lifetime floor no configuration can reach must error, not succeed.
+	if err := run([]string{"-n", "9", "-D", "2", "-min-lifetime", "1000000"}, &out, &errOut); err == nil {
+		t.Fatal("impossible lifetime floor produced a recommendation")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out, &errOut); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

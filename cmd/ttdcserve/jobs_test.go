@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/schedcache"
+)
+
+func postCampaign(t *testing.T, ts *httptest.Server, doc string) submitResponse {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // test
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs status = %d", resp.StatusCode)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	return sub
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) statusResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // test
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s status = %d", id, resp.StatusCode)
+	}
+	var st statusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// awaitDone polls the status endpoint until the run leaves stateRunning.
+func awaitDone(t *testing.T, ts *httptest.Server, id string) statusResponse {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		if st.State != stateRunning {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s still running after 10s", id)
+	return statusResponse{}
+}
+
+func TestJobsSubmitAndFetch(t *testing.T) {
+	ts := httptest.NewServer(Handler(schedcache.New(0)))
+	defer ts.Close()
+
+	sub := postCampaign(t, ts,
+		`{"name":"api","n":[9,16],"d":[2],"duty":[{"alphaT":2,"alphaR":4}],"workload":"flood","frames":3,"seed":11}`)
+	if sub.Jobs != 2 || sub.Path != "/jobs/"+sub.ID {
+		t.Fatalf("submit = %+v", sub)
+	}
+	st := awaitDone(t, ts, sub.ID)
+	if st.State != stateDone {
+		t.Fatalf("state = %s, error = %s", st.State, st.Error)
+	}
+	if len(st.Results) != 2 || len(st.FailedJobs) != 0 {
+		t.Fatalf("results = %d, failed = %v", len(st.Results), st.FailedJobs)
+	}
+	var m engine.Metrics
+	if err := json.Unmarshal(st.Results[0].Result, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Covered == 0 {
+		t.Fatalf("flood metrics = %+v", m)
+	}
+	if st.Stats.Done != 2 {
+		t.Fatalf("stats = %+v", st.Stats)
+	}
+}
+
+func TestJobsRejectsBadCampaign(t *testing.T) {
+	ts := httptest.NewServer(Handler(schedcache.New(0)))
+	defer ts.Close()
+	for _, doc := range []string{`{"n":[9],"d":[2],"workload":"warp"}`, `{`, `{"n":[],"d":[2]}`} {
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close() //nolint:errcheck // test
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("doc %q: status %d, want 400", doc, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/jobs/c999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //nolint:errcheck // test
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing campaign: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestJobsListAndMetrics(t *testing.T) {
+	ts := httptest.NewServer(Handler(schedcache.New(0)))
+	defer ts.Close()
+	var ids []string
+	for i := 0; i < 3; i++ {
+		sub := postCampaign(t, ts, fmt.Sprintf(`{"n":[9],"d":[2],"workload":"analysis","seed":%d}`, i))
+		ids = append(ids, sub.ID)
+	}
+	for _, id := range ids {
+		awaitDone(t, ts, id)
+	}
+	resp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // test
+	var list []statusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("listed %d campaigns, want 3", len(list))
+	}
+	for i, st := range list {
+		if st.ID != ids[i] {
+			t.Errorf("list[%d] = %s, want %s (submission order)", i, st.ID, ids[i])
+		}
+		if len(st.Results) != 0 {
+			t.Errorf("list endpoint leaked %d results", len(st.Results))
+		}
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close() //nolint:errcheck // test
+	var metrics struct {
+		Engine map[string]int64 `json:"engine"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Engine["campaigns"] != 3 || metrics.Engine["jobs_done"] != 3 {
+		t.Errorf("engine metrics = %v", metrics.Engine)
+	}
+}

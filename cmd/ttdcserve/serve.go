@@ -83,9 +83,11 @@ func (h *histogram) snapshot() map[string]int64 {
 	return out
 }
 
-// server holds the handler state: the schedule cache and request metrics.
+// server holds the handler state: the schedule cache, the async campaign
+// runner, and request metrics.
 type server struct {
 	cache    *schedcache.Cache
+	jobs     *jobsAPI
 	latency  *histogram
 	requests atomic.Int64
 	started  time.Time
@@ -93,16 +95,22 @@ type server struct {
 
 // Handler builds the ttdcserve HTTP API over c:
 //
-//	GET /schedule?n=&D=&alphaT=&alphaR=&strategy=   schedule + analysis JSON
-//	GET /healthz                                    liveness probe
-//	GET /metrics                                    cache stats + latency histogram
+//	GET  /schedule?n=&D=&alphaT=&alphaR=&strategy=  schedule + analysis JSON
+//	POST /jobs                                      submit a batch campaign
+//	GET  /jobs                                      list submitted campaigns
+//	GET  /jobs/{id}                                 campaign progress + results
+//	GET  /healthz                                   liveness probe
+//	GET  /metrics                                   cache + engine stats, latency histogram
 //
 // It is exported (and main is a thin wrapper) so tests drive it through
 // net/http/httptest without binding a port.
 func Handler(c *schedcache.Cache) http.Handler {
-	s := &server{cache: c, latency: newHistogram(), started: time.Now()}
+	s := &server{cache: c, jobs: newJobsAPI(c), latency: newHistogram(), started: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/schedule", s.handleSchedule)
+	mux.HandleFunc("POST /jobs", s.jobs.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.jobs.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.jobs.handleGet)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -218,6 +226,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"entries":       st.Entries,
 			"capacity":      int64(s.cache.Capacity()),
 		},
+		"engine":           s.jobs.metrics(),
 		"requests":         s.requests.Load(),
 		"schedule_latency": s.latency.snapshot(),
 		"uptime_seconds":   time.Since(s.started).Seconds(),

@@ -11,36 +11,48 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	ttdc "repro"
 )
 
 func main() {
-	var (
-		gen    = flag.String("gen", "", "build schedule in-process: tdma | polynomial | steiner (default: read JSON from stdin)")
-		n      = flag.Int("n", 25, "number of nodes")
-		d      = flag.Int("D", 2, "degree bound")
-		alphaT = flag.Int("alphaT", 0, "construct (αT, αR)-schedule when both set")
-		alphaR = flag.Int("alphaR", 0, "construct (αT, αR)-schedule when both set")
-		topo   = flag.String("topo", "regular", "topology: regular | ring | grid | geometric | random")
-		radius = flag.Float64("radius", 0.3, "geometric topology radius")
-		mode   = flag.String("mode", "saturation", "workload: saturation | convergecast | flood")
-		frames = flag.Int("frames", 10, "frames to simulate")
-		rate   = flag.Float64("rate", 0.002, "convergecast packets/slot/node")
-		sink   = flag.Int("sink", 0, "convergecast sink / flood source node")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		loss   = flag.Float64("loss", 0, "per-reception erasure probability")
-		capt   = flag.Float64("capture", 0, "probability a collision still delivers one packet")
-		drift  = flag.Float64("drift", 0, "clock drift bound in ppm (0 = perfect sync)")
-		guard  = flag.Float64("guard", 0.1, "guard band as a fraction of the slot")
-		resync = flag.Int("resync", 0, "slots between resynchronizations (0 = never)")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ttdcsim:", err)
+		os.Exit(1)
+	}
+}
 
-	s, err := loadSchedule(*gen, *n, *d, *alphaT, *alphaR)
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ttdcsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		gen    = fs.String("gen", "", "build schedule in-process: tdma | polynomial | steiner (default: read JSON from stdin)")
+		n      = fs.Int("n", 25, "number of nodes")
+		d      = fs.Int("D", 2, "degree bound")
+		alphaT = fs.Int("alphaT", 0, "construct (αT, αR)-schedule when both set")
+		alphaR = fs.Int("alphaR", 0, "construct (αT, αR)-schedule when both set")
+		topo   = fs.String("topo", "regular", "topology: regular | ring | grid | geometric | random")
+		radius = fs.Float64("radius", 0.3, "geometric topology radius")
+		mode   = fs.String("mode", "saturation", "workload: saturation | convergecast | flood")
+		frames = fs.Int("frames", 10, "frames to simulate")
+		rate   = fs.Float64("rate", 0.002, "convergecast packets/slot/node")
+		sink   = fs.Int("sink", 0, "convergecast sink / flood source node")
+		seed   = fs.Uint64("seed", 1, "random seed")
+		loss   = fs.Float64("loss", 0, "per-reception erasure probability")
+		capt   = fs.Float64("capture", 0, "probability a collision still delivers one packet")
+		drift  = fs.Float64("drift", 0, "clock drift bound in ppm (0 = perfect sync)")
+		guard  = fs.Float64("guard", 0.1, "guard band as a fraction of the slot")
+		resync = fs.Int("resync", 0, "slots between resynchronizations (0 = never)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s, err := loadSchedule(stdin, *gen, *n, *d, *alphaT, *alphaR)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	nodes := s.N()
 	if *n < nodes {
@@ -48,9 +60,9 @@ func main() {
 	}
 	g, err := buildTopo(*topo, nodes, *d, *radius, *seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("schedule: n=%d L=%d active=%.3f | topology: %s, %d nodes, %d edges, maxdeg %d\n",
+	fmt.Fprintf(stdout, "schedule: n=%d L=%d active=%.3f | topology: %s, %d nodes, %d edges, maxdeg %d\n",
 		s.N(), s.L(), s.ActiveFraction(), *topo, g.N(), g.EdgeCount(), g.MaxDegree())
 
 	channel := ttdc.Channel{LossProb: *loss, CaptureProb: *capt}
@@ -59,7 +71,7 @@ func main() {
 		clock = &ttdc.ClockModel{
 			MaxDriftPPM: *drift, GuardFraction: *guard, ResyncInterval: *resync, Seed: *seed,
 		}
-		fmt.Printf("clock: ±%.0f ppm, guard %.0f%% of slot, resync every %d slots (required <= %d)\n",
+		fmt.Fprintf(stdout, "clock: ±%.0f ppm, guard %.0f%% of slot, resync every %d slots (required <= %d)\n",
 			*drift, 100**guard, *resync, ttdc.RequiredResyncInterval(*clock))
 	}
 
@@ -67,13 +79,13 @@ func main() {
 	case "saturation":
 		res, err := ttdc.RunSaturation(g, s, *frames, ttdc.DefaultEnergy())
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("frames=%d  min link/frame=%.3f  avg link/frame=%.3f\n",
+		fmt.Fprintf(stdout, "frames=%d  min link/frame=%.3f  avg link/frame=%.3f\n",
 			res.Frames, res.MinLinkPerFrame, res.AvgLinkPerFrame)
-		fmt.Printf("min link throughput=%.6f  avg=%.6f  collisions=%d\n",
+		fmt.Fprintf(stdout, "min link throughput=%.6f  avg=%.6f  collisions=%d\n",
 			res.MinLinkThroughput, res.AvgLinkThroughput, res.CollisionSlots)
-		fmt.Printf("energy=%.4f J  per delivery=%.6f J  active fraction=%.3f\n",
+		fmt.Fprintf(stdout, "energy=%.4f J  per delivery=%.6f J  active fraction=%.3f\n",
 			res.TotalEnergy, res.EnergyPerDelivery, res.ActiveFraction)
 	case "convergecast":
 		res, err := ttdc.RunConvergecast(g, s, ttdc.ConvergecastConfig{
@@ -81,12 +93,12 @@ func main() {
 			Channel: channel, Clock: clock,
 		})
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("generated=%d delivered=%d dropped=%d in-flight=%d (delivery ratio %.3f)\n",
+		fmt.Fprintf(stdout, "generated=%d delivered=%d dropped=%d in-flight=%d (delivery ratio %.3f)\n",
 			res.Generated, res.Delivered, res.Dropped, res.InFlight, res.DeliveryRatio)
-		fmt.Printf("latency slots: %s\n", res.Latency.String())
-		fmt.Printf("energy=%.4f J  per delivered=%.6f J  active fraction=%.3f  collisions=%d\n",
+		fmt.Fprintf(stdout, "latency slots: %s\n", res.Latency.String())
+		fmt.Fprintf(stdout, "energy=%.4f J  per delivered=%.6f J  active fraction=%.3f  collisions=%d\n",
 			res.TotalEnergy, res.EnergyPerDelivered, res.ActiveFraction, res.Collisions)
 	case "flood":
 		res, err := ttdc.RunFlood(g, ttdc.ScheduleProtocol{S: s}, ttdc.FloodConfig{
@@ -94,27 +106,28 @@ func main() {
 			Channel: channel, Clock: clock,
 		})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		completion := "incomplete"
 		if res.CompletionSlot >= 0 {
 			completion = fmt.Sprintf("slot %d", res.CompletionSlot)
 		}
-		fmt.Printf("covered=%d/%d  completion=%s  (analytic bound: %d slots)\n",
+		fmt.Fprintf(stdout, "covered=%d/%d  completion=%s  (analytic bound: %d slots)\n",
 			res.Covered, g.N(), completion, (ttdc.Eccentricity(g, *sink)+1)*s.L())
-		fmt.Printf("energy=%.4f J  active fraction=%.3f  collisions=%d\n",
+		fmt.Fprintf(stdout, "energy=%.4f J  active fraction=%.3f  collisions=%d\n",
 			res.TotalEnergy, res.ActiveFraction, res.Collisions)
 	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+		return fmt.Errorf("unknown mode %q", *mode)
 	}
+	return nil
 }
 
-func loadSchedule(gen string, n, d, alphaT, alphaR int) (*ttdc.Schedule, error) {
+func loadSchedule(stdin io.Reader, gen string, n, d, alphaT, alphaR int) (*ttdc.Schedule, error) {
 	var s *ttdc.Schedule
 	var err error
 	switch gen {
 	case "":
-		return ttdc.DecodeSchedule(os.Stdin)
+		return ttdc.DecodeSchedule(stdin)
 	case "tdma":
 		s, err = ttdc.TDMA(n)
 	case "polynomial":
@@ -155,9 +168,4 @@ func buildTopo(kind string, n, d int, radius float64, seed uint64) (*ttdc.Graph,
 	default:
 		return nil, fmt.Errorf("unknown topology %q", kind)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ttdcsim:", err)
-	os.Exit(1)
 }

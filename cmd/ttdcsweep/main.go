@@ -1,63 +1,137 @@
-// Command ttdcsweep regenerates the reproduction experiments (E1-E11): each
+// Command ttdcsweep regenerates the reproduction experiments (E1-E17): each
 // verifies one paper artifact — Figure 1, the Theorem 2-4 and 7-9
 // guarantees, the Requirement 2 ⇔ 3 equivalence — or one of the simulation
 // studies the paper motivates, and prints its table.
 //
+// Every requested experiment runs even when an earlier one fails; a final
+// summary lists the failing IDs and the exit status is non-zero only then.
+// With -parallel the suite runs through the internal/engine worker pool
+// (deterministically: the printed tables are byte-identical to a serial
+// run), and -journal checkpoints finished experiments so an interrupted
+// sweep resumes where it left off.
+//
 // Usage:
 //
-//	ttdcsweep                # run everything
-//	ttdcsweep -exp E10       # one experiment
-//	ttdcsweep -exp E3 -csv   # CSV output
+//	ttdcsweep                         # run everything, serially
+//	ttdcsweep -exp E10                # one experiment
+//	ttdcsweep -exp E3 -csv            # CSV output
+//	ttdcsweep -parallel -workers 4    # the suite on 4 engine workers
+//	ttdcsweep -parallel -journal s.jsonl  # checkpoint/resume
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ttdcsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ttdcsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp = flag.String("exp", "", "experiment id (E1..E11); empty = all")
-		csv = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		exp      = fs.String("exp", "", "experiment id (E1..E17); empty = all")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		parallel = fs.Bool("parallel", false, "run the suite through the batch engine worker pool")
+		workers  = fs.Int("workers", 0, "engine worker count with -parallel (0 = GOMAXPROCS)")
+		journal  = fs.String("journal", "", "JSONL journal path: checkpoint finished experiments, resume on rerun (implies -parallel)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	ids := experiments.IDs()
 	if *exp != "" {
 		ids = []string{*exp}
 	}
-	allPass := true
+
+	var failed []string
+	if *parallel || *journal != "" {
+		var err error
+		failed, err = runEngine(ids, *csv, *workers, *journal, stdout, stderr)
+		if err != nil {
+			return err
+		}
+	} else {
+		failed = runSerial(ids, *csv, stdout, stderr)
+	}
+
+	if len(failed) > 0 {
+		return fmt.Errorf("%d/%d experiments failed: %s", len(failed), len(ids), strings.Join(failed, ", "))
+	}
+	fmt.Fprintf(stdout, "ttdcsweep: %d/%d PASS\n", len(ids), len(ids))
+	return nil
+}
+
+// runSerial runs the experiments one by one in the calling goroutine,
+// streaming each table as it finishes. A failing or erroring experiment is
+// recorded and the sweep continues.
+func runSerial(ids []string, csv bool, stdout, stderr io.Writer) (failed []string) {
 	for _, id := range ids {
 		res, err := experiments.Run(id)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ttdcsweep:", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "ttdcsweep: %s: %v\n", id, err)
+			failed = append(failed, id)
+			continue
 		}
-		fmt.Printf("== %s: %s ==\n", res.ID, res.Title)
-		var werr error
-		if *csv {
-			werr = res.Table.WriteCSV(os.Stdout)
-		} else {
-			werr = res.Table.WriteText(os.Stdout)
+		out, err := engine.RenderExperiment(res, csv)
+		if err != nil {
+			fmt.Fprintf(stderr, "ttdcsweep: %s: %v\n", id, err)
+			failed = append(failed, id)
+			continue
 		}
-		if werr != nil {
-			fmt.Fprintln(os.Stderr, "ttdcsweep:", werr)
-			os.Exit(1)
-		}
-		for _, n := range res.Notes {
-			fmt.Println(n)
-		}
-		status := "PASS"
+		fmt.Fprint(stdout, out)
 		if !res.Pass {
-			status = "FAIL"
-			allPass = false
+			failed = append(failed, id)
 		}
-		fmt.Printf("[%s] %s\n\n", status, res.ID)
 	}
-	if !allPass {
-		os.Exit(1)
+	return failed
+}
+
+// runEngine runs the experiments through the batch engine and prints the
+// rendered blocks in experiment order afterwards — the engine's ordered
+// journal writer guarantees the output matches a serial run byte for byte.
+func runEngine(ids []string, csv bool, workers int, journalPath string, stdout, stderr io.Writer) (failed []string, err error) {
+	opts := engine.Options{Workers: workers}
+	if journalPath != "" {
+		j, jerr := engine.OpenJournal(journalPath)
+		if jerr != nil {
+			return nil, jerr
+		}
+		defer j.Close() //nolint:errcheck // flushed on every Append
+		opts.Journal = j
 	}
+	rep, err := engine.New(opts).Run(context.Background(), engine.ExperimentJobs(ids, csv, 1))
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range rep.Records {
+		if rec.Status != engine.StatusOK {
+			fmt.Fprintf(stderr, "ttdcsweep: %s: %s\n", rec.ID, rec.Error)
+			failed = append(failed, rec.ID)
+			continue
+		}
+		var sr engine.SweepResult
+		if err := json.Unmarshal(rec.Result, &sr); err != nil {
+			return nil, fmt.Errorf("%s: corrupt journal record: %w", rec.ID, err)
+		}
+		fmt.Fprint(stdout, sr.Output)
+		if !sr.Pass {
+			failed = append(failed, rec.ID)
+		}
+	}
+	return failed, nil
 }

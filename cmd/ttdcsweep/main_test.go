@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSerialVsParallelIdentical is the sweep's determinism acceptance
+// check: the engine-backed parallel run must print byte-identical tables
+// to the serial loop.
+func TestSerialVsParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite comparison")
+	}
+	var serial, parallel bytes.Buffer
+	if err := run(nil, &serial, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-parallel", "-workers", "8"}, &parallel, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Error("parallel sweep output differs from serial")
+	}
+	if !strings.Contains(serial.String(), "ttdcsweep: 17/17 PASS") {
+		t.Errorf("missing summary line; got tail %q", tail(serial.String()))
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "E5"}, &out, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "== E5:") || !strings.Contains(out.String(), "[PASS] E5") {
+		t.Errorf("unexpected output %q", tail(out.String()))
+	}
+	if !strings.Contains(out.String(), "ttdcsweep: 1/1 PASS") {
+		t.Errorf("missing summary; got tail %q", tail(out.String()))
+	}
+}
+
+// TestUnknownExperimentContinuesToSummary: an erroring experiment must not
+// abort the run pre-summary; it must surface in the final error.
+func TestUnknownExperimentContinuesToSummary(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-exp", "E99"}, &out, &errOut)
+	if err == nil {
+		t.Fatal("unknown experiment reported success")
+	}
+	if !strings.Contains(err.Error(), "1/1 experiments failed") || !strings.Contains(err.Error(), "E99") {
+		t.Errorf("summary error = %v", err)
+	}
+}
+
+// TestJournalResume runs two experiments with a journal, then reruns: the
+// second run must replay from the journal (same output) without
+// re-executing.
+func TestJournalResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
+	var first, second bytes.Buffer
+	if err := run([]string{"-exp", "E5", "-journal", journal}, &first, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "E5", "-journal", journal}, &second, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Error("journal replay output differs from original run")
+	}
+}
+
+func tail(s string) string {
+	if len(s) > 200 {
+		return s[len(s)-200:]
+	}
+	return s
+}

@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeCampaign hardens the campaign entry point the same way
+// FuzzDecodeSchedule hardens the schedule decoder: arbitrary bytes must
+// never panic, anything accepted must satisfy the expansion bounds, and a
+// decoded campaign must survive an encode/decode round trip.
+func FuzzDecodeCampaign(f *testing.F) {
+	f.Add(`{"n":[9,16],"d":[2],"duty":[{"alphaT":2,"alphaR":4}],"workload":"saturation","frames":2,"replications":3,"seed":42}`)
+	f.Add(`{"name":"x","n":[25],"d":[2],"topology":"geometric","radius":0.3,"workload":"convergecast","rate":0.002}`)
+	f.Add(`{"n":[4096],"d":[4095]}`)
+	f.Add(`{"n":[9],"d":[2],"duty":[{"alphaT":1}]}`)  // half-set caps: must error
+	f.Add(`{"n":[-1],"d":[2]}`)                       // out of range
+	f.Add(`{"n":[9],"d":[2],"replications":1000000}`) // over the job cap
+	f.Add(`{"n":[9],"d":[2],"alphaT":[2]}`)           // unknown field
+	f.Add(`{"n":[9],"d":[2],"rate":1e308}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Add(`[]`)
+	f.Add(`{"n":[9],"d":[2],"seed":18446744073709551615}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		c, err := DecodeCampaign(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		specs, err := c.Expand()
+		if err != nil {
+			t.Fatalf("validated campaign failed to expand: %v", err)
+		}
+		if len(specs) == 0 || len(specs) > MaxJobs {
+			t.Fatalf("expansion size %d outside (0, %d]", len(specs), MaxJobs)
+		}
+		// Round trip must preserve the expansion.
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(c); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		c2, err := DecodeCampaign(&buf)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		specs2, err := c2.Expand()
+		if err != nil {
+			t.Fatalf("re-expand: %v", err)
+		}
+		if len(specs2) != len(specs) {
+			t.Fatalf("round trip changed job count: %d != %d", len(specs2), len(specs))
+		}
+		for i := range specs {
+			if specs[i] != specs2[i] {
+				t.Fatalf("round trip changed job %d: %+v != %+v", i, specs[i], specs2[i])
+			}
+		}
+	})
+}

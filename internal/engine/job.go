@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	ttdc "repro"
+	"repro/internal/schedcache"
+	"repro/internal/stats"
+)
+
+// Metrics is the JSON payload of one campaign job's record. One flat
+// struct for every workload keeps journal lines and CSV columns stable;
+// workloads leave the fields they don't produce at their zero values.
+type Metrics struct {
+	// Schedule shape (every workload).
+	L              int     `json:"l"`
+	ActiveFraction float64 `json:"activeFraction"`
+	// Analysis workload: the exact Theorem-2 average throughput and its
+	// display float.
+	AvgThroughput      string  `json:"avgThroughput,omitempty"`
+	AvgThroughputFloat float64 `json:"avgThroughputFloat,omitempty"`
+	// Topology shape (simulation workloads).
+	Nodes int `json:"nodes,omitempty"`
+	Edges int `json:"edges,omitempty"`
+	// Saturation workload.
+	MinLinkThroughput float64 `json:"minLinkThroughput,omitempty"`
+	AvgLinkThroughput float64 `json:"avgLinkThroughput,omitempty"`
+	// Convergecast workload.
+	Generated        int     `json:"generated,omitempty"`
+	Delivered        int     `json:"delivered,omitempty"`
+	Dropped          int     `json:"dropped,omitempty"`
+	DeliveryRatio    float64 `json:"deliveryRatio,omitempty"`
+	MeanLatencySlots float64 `json:"meanLatencySlots,omitempty"`
+	// Flood workload.
+	Covered        int `json:"covered,omitempty"`
+	CompletionSlot int `json:"completionSlot,omitempty"`
+	// Shared simulation counters.
+	Collisions        int     `json:"collisions,omitempty"`
+	TotalEnergy       float64 `json:"totalEnergy,omitempty"`
+	SimActiveFraction float64 `json:"simActiveFraction,omitempty"`
+}
+
+// Jobs expands the campaign and binds each spec to an executable engine
+// Job. Job i's seed is stats.DeriveSeed(c.Seed, i), so a job's result
+// depends only on the campaign seed and its own index — never on worker
+// count or completion order. cache, when non-nil, memoizes polynomial
+// schedule construction across jobs (replications and topologies of the
+// same grid point share one schedule build); other constructions build
+// directly.
+func Jobs(c *Campaign, cache *schedcache.Cache) ([]Job, error) {
+	specs, err := c.Expand()
+	if err != nil {
+		return nil, err
+	}
+	seed := c.Seed
+	jobs := make([]Job, len(specs))
+	for i, spec := range specs {
+		spec := spec
+		jobSeed := stats.DeriveSeed(seed, uint64(i))
+		jobs[i] = Job{
+			ID:   spec.ID(),
+			Seed: jobSeed,
+			Run: func(ctx context.Context) (any, error) {
+				return ExecuteJob(ctx, spec, jobSeed, cache)
+			},
+		}
+	}
+	return jobs, nil
+}
+
+// ExecuteJob runs one grid point: build (or fetch) the schedule, build the
+// topology from the job seed, run the workload, and collect metrics.
+func ExecuteJob(ctx context.Context, spec JobSpec, seed uint64, cache *schedcache.Cache) (*Metrics, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s, err := buildSchedule(spec, cache)
+	if err != nil {
+		return nil, err
+	}
+	m := &Metrics{L: s.L(), ActiveFraction: s.ActiveFraction()}
+	if spec.Workload == "analysis" {
+		avg := ttdc.AvgThroughput(s, spec.D)
+		m.AvgThroughput = avg.RatString()
+		m.AvgThroughputFloat = ttdc.RatFloat(avg)
+		return m, nil
+	}
+	g, err := buildTopology(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	m.Nodes = g.N()
+	m.Edges = g.EdgeCount()
+	switch spec.Workload {
+	case "saturation":
+		res, err := ttdc.RunSaturation(g, s, spec.Frames, ttdc.DefaultEnergy())
+		if err != nil {
+			return nil, err
+		}
+		m.MinLinkThroughput = res.MinLinkThroughput
+		m.AvgLinkThroughput = res.AvgLinkThroughput
+		m.Collisions = res.CollisionSlots
+		m.TotalEnergy = res.TotalEnergy
+		m.SimActiveFraction = res.ActiveFraction
+	case "convergecast":
+		res, err := ttdc.RunConvergecast(g, s, ttdc.ConvergecastConfig{
+			Sink: spec.Sink, Rate: spec.Rate, Frames: spec.Frames, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.Generated = res.Generated
+		m.Delivered = res.Delivered
+		m.Dropped = res.Dropped
+		m.DeliveryRatio = res.DeliveryRatio
+		m.MeanLatencySlots = res.Latency.Mean()
+		m.Collisions = res.Collisions
+		m.TotalEnergy = res.TotalEnergy
+		m.SimActiveFraction = res.ActiveFraction
+	case "flood":
+		res, err := ttdc.RunFlood(g, ttdc.ScheduleProtocol{S: s}, ttdc.FloodConfig{
+			Source: spec.Sink, MaxFrames: spec.Frames, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.Covered = res.Covered
+		m.CompletionSlot = res.CompletionSlot
+		m.Collisions = res.Collisions
+		m.TotalEnergy = res.TotalEnergy
+		m.SimActiveFraction = res.ActiveFraction
+	default:
+		return nil, fmt.Errorf("engine: unknown workload %q", spec.Workload)
+	}
+	return m, nil
+}
+
+// buildSchedule constructs the job's schedule. Polynomial bases go through
+// the shared cache when one is supplied — replications of the same grid
+// point then pay for construction once, with singleflight dedup under
+// concurrency.
+func buildSchedule(spec JobSpec, cache *schedcache.Cache) (*ttdc.Schedule, error) {
+	strategy, err := schedcache.ParseStrategy(spec.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Construction == "polynomial" && cache != nil {
+		key := schedcache.Key{N: spec.N, D: spec.D, AlphaT: spec.AlphaT, AlphaR: spec.AlphaR, Strategy: strategy}
+		if err := key.Validate(); err != nil {
+			return nil, err
+		}
+		return cache.Get(key)
+	}
+	var base *ttdc.Schedule
+	switch spec.Construction {
+	case "tdma":
+		base, err = ttdc.TDMA(spec.N)
+	case "polynomial":
+		base, err = ttdc.PolynomialSchedule(spec.N, spec.D)
+	case "steiner":
+		base, err = ttdc.SteinerSchedule(spec.N)
+	case "projective":
+		base, err = ttdc.ProjectiveSchedule(spec.N, spec.D)
+	default:
+		return nil, fmt.Errorf("engine: unknown construction %q", spec.Construction)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if spec.AlphaT == 0 && spec.AlphaR == 0 {
+		return base, nil
+	}
+	return ttdc.Construct(base, ttdc.ConstructOptions{
+		AlphaT: spec.AlphaT, AlphaR: spec.AlphaR, D: spec.D, Strategy: strategy,
+	})
+}
+
+// buildTopology realizes the job's graph. The RNG is rooted at the job
+// seed, so randomized topologies differ across replications but are
+// identical across reruns of the same job.
+func buildTopology(spec JobSpec, seed uint64) (*ttdc.Graph, error) {
+	rng := stats.NewRNG(seed)
+	switch spec.Topology {
+	case "regular":
+		return ttdc.Regularish(spec.N, spec.D), nil
+	case "ring":
+		return ttdc.Ring(spec.N), nil
+	case "grid":
+		side := 1
+		for side*side < spec.N {
+			side++
+		}
+		return ttdc.Grid(side, side), nil
+	case "geometric":
+		dep := ttdc.RandomGeometric(spec.N, spec.Radius, rng)
+		dep.Graph.EnforceMaxDegree(spec.D, rng)
+		return dep.Graph, nil
+	case "random":
+		return ttdc.RandomBoundedDegree(spec.N, spec.D, spec.N/4, rng), nil
+	default:
+		return nil, fmt.Errorf("engine: unknown topology %q", spec.Topology)
+	}
+}

@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+)
+
+// Snapshot is a point-in-time view of a run's progress, safe to take from
+// any goroutine while Run executes. It backs the TTY progress line in
+// ttdcbatch/ttdcsweep and the /metrics and /jobs surfaces in ttdcserve.
+type Snapshot struct {
+	// Total is the campaign's job count; Done = Completed + Failed +
+	// Skipped.
+	Total int64 `json:"total"`
+	Done  int64 `json:"done"`
+	// Completed and Failed count jobs executed this run; Skipped counts
+	// jobs replayed from the journal on resume.
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Skipped   int64 `json:"skipped"`
+	// InFlight is the number of jobs currently executing.
+	InFlight int64 `json:"inFlight"`
+	// ElapsedSeconds is wall-clock time since Run started; JobsPerSec is
+	// executed jobs (not replays) divided by it.
+	ElapsedSeconds float64 `json:"elapsedSeconds"`
+	JobsPerSec     float64 `json:"jobsPerSec"`
+}
+
+// Stats returns the current progress counters. Timing fields are zero
+// before Run starts.
+func (e *Engine) Stats() Snapshot {
+	s := Snapshot{
+		Total:     e.total.Load(),
+		Completed: e.completed.Load(),
+		Failed:    e.failed.Load(),
+		Skipped:   e.skipped.Load(),
+		InFlight:  e.inflight.Load(),
+	}
+	s.Done = s.Completed + s.Failed + s.Skipped
+	if start := e.startNS.Load(); start > 0 {
+		s.ElapsedSeconds = time.Since(time.Unix(0, start)).Seconds()
+		if s.ElapsedSeconds > 0 {
+			s.JobsPerSec = float64(s.Completed+s.Failed) / s.ElapsedSeconds
+		}
+	}
+	return s
+}
+
+// Line renders the snapshot as a one-line TTY progress string, e.g.
+//
+//	128/512 done (3 failed, 64 resumed) | 8 in flight | 41.2 jobs/s
+func (s Snapshot) Line() string {
+	return fmt.Sprintf("%d/%d done (%d failed, %d resumed) | %d in flight | %.1f jobs/s",
+		s.Done, s.Total, s.Failed, s.Skipped, s.InFlight, s.JobsPerSec)
+}

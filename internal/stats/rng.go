@@ -96,3 +96,16 @@ func (r *RNG) Exp(rate float64) float64 {
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
 }
+
+// DeriveSeed returns the index-th value of the splitmix64 stream rooted at
+// base — exactly what NewRNG(base) would produce on its (index+1)-th call
+// to Uint64, computed in O(1). It exists so a batch of jobs can each get an
+// independent deterministic seed from (campaign seed, job index) without
+// sharing a generator, making per-job results independent of execution
+// order and worker count.
+func DeriveSeed(base uint64, index uint64) uint64 {
+	z := base + (index+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -274,3 +274,31 @@ func TestHistogramPanics(t *testing.T) {
 	}()
 	NewHistogram(5, 5, 3)
 }
+
+// TestDeriveSeedMatchesStream pins DeriveSeed to its contract: the O(1)
+// formula must equal the sequential splitmix64 stream, so per-index seeds
+// are exactly what a shared generator would have handed out in order.
+func TestDeriveSeedMatchesStream(t *testing.T) {
+	for _, base := range []uint64{0, 1, 42, math.MaxUint64} {
+		r := NewRNG(base)
+		for i := uint64(0); i < 100; i++ {
+			want := r.Uint64()
+			if got := DeriveSeed(base, i); got != want {
+				t.Fatalf("DeriveSeed(%d, %d) = %d, want %d", base, i, got, want)
+			}
+		}
+	}
+}
+
+// TestDeriveSeedSpread: distinct indices must give distinct seeds (the
+// stream is a bijection of the counter, so collisions would be a bug).
+func TestDeriveSeedSpread(t *testing.T) {
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 10000; i++ {
+		s := DeriveSeed(7, i)
+		if j, dup := seen[s]; dup {
+			t.Fatalf("indices %d and %d share seed %d", i, j, s)
+		}
+		seen[s] = i
+	}
+}
