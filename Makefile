@@ -37,13 +37,19 @@ fuzz:
 	$(GO) test -fuzz FuzzScheduleFromSlotSets -fuzztime 10s .
 	$(GO) test -fuzz FuzzCacheGet -fuzztime 10s ./internal/schedcache
 
-# Engine + cache benchmarks with -benchmem, captured as the
-# machine-readable perf trajectory in BENCH_engine.json (includes the
-# serial-vs-parallel sweep wall clock via the Workers1/WorkersMax pairs).
-# Non-gating: runs alongside `make check`, not inside it.
+# Benchmarks with -benchmem, captured as the machine-readable perf
+# trajectory: BENCH_engine.json (serial-vs-parallel Workers1/WorkersMax
+# pairs for the sweep and campaign engines) and BENCH_core.json (naive-vs-
+# prefix-cached kernel pairs for the Requirement/throughput verifiers).
+# Time-based -benchtime: fixed tiny iteration counts (3x) made the
+# Workers1/WorkersMax ratio a noise measurement — one GC pause in a
+# 3-iteration run moved the pair by ±20%. Non-gating: runs alongside
+# `make check`, not inside it.
 bench:
-	$(GO) test -run xxx -bench . -benchmem -benchtime 3x ./internal/engine ./internal/schedcache \
+	$(GO) test -run xxx -bench . -benchmem -benchtime 1s ./internal/engine ./internal/schedcache \
 		| $(GO) run ./cmd/ttdcbench -o BENCH_engine.json
+	$(GO) test -run xxx -bench . -benchmem -benchtime 1s ./internal/core \
+		| $(GO) run ./cmd/ttdcbench -o BENCH_core.json
 
 # One pass over every package's benchmarks, for spot checks.
 benchall:

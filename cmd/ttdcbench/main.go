@@ -1,13 +1,18 @@
 // Command ttdcbench turns `go test -bench -benchmem` output into the
-// machine-readable benchmark file that tracks the repository's perf
-// trajectory (BENCH_engine.json). It parses the standard benchmark lines
-// from stdin, and derives serial-vs-parallel speedups from benchmark pairs
-// named <Prefix>Workers1 / <Prefix>WorkersMax — the engine's sweep and
-// campaign wall-clock comparison.
+// machine-readable benchmark files that track the repository's perf
+// trajectory (BENCH_engine.json, BENCH_core.json). It parses the standard
+// benchmark lines from stdin, and derives speedup pairs from two naming
+// conventions:
+//
+//   - <Prefix>Workers1 / <Prefix>WorkersMax — the engine's serial-vs-
+//     parallel sweep and campaign wall-clock comparison;
+//   - <Prefix>Naive / <Prefix>Prefix — the old-vs-new kernel comparison
+//     of internal/core's prefix-cached verification rewrite.
 //
 // Usage (see the Makefile bench target):
 //
 //	go test -run xxx -bench . -benchmem ./internal/engine | ttdcbench -o BENCH_engine.json
+//	go test -run xxx -bench . -benchmem ./internal/core | ttdcbench -o BENCH_core.json
 package main
 
 import (
@@ -31,7 +36,10 @@ type Benchmark struct {
 	AllocsPerOp float64 `json:"allocsPerOp,omitempty"`
 }
 
-// Speedup is one derived Workers1/WorkersMax wall-clock ratio.
+// Speedup is one derived before/after wall-clock ratio: Workers1 vs
+// WorkersMax for the engine pairs, Naive vs Prefix for the kernel pairs.
+// SerialNs holds the baseline (serial or naive) and MaxNs the comparison
+// (parallel or prefix-cached); Speedup = SerialNs / MaxNs.
 type Speedup struct {
 	Name     string  `json:"name"`
 	SerialNs float64 `json:"serialNs"`
@@ -152,23 +160,32 @@ func parseBenchLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
-// deriveSpeedups pairs <Prefix>Workers1 with <Prefix>WorkersMax and
-// records serial/parallel wall-clock ratios, preserving input order.
+// speedupPairs lists the recognized baseline/comparison suffix pairs.
+var speedupPairs = []struct{ base, comp string }{
+	{"Workers1", "WorkersMax"}, // engine serial vs worker pool
+	{"Naive", "Prefix"},        // core naive scan vs prefix-cached kernel
+}
+
+// deriveSpeedups pairs benchmarks whose names differ only by a recognized
+// baseline/comparison suffix and records their wall-clock ratios,
+// preserving input order.
 func deriveSpeedups(benches []Benchmark) []Speedup {
 	var out []Speedup
 	for _, b := range benches {
-		prefix, ok := strings.CutSuffix(b.Name, "Workers1")
-		if !ok {
-			continue
-		}
-		for _, m := range benches {
-			if m.Name == prefix+"WorkersMax" && m.NsPerOp > 0 {
-				out = append(out, Speedup{
-					Name:     strings.TrimPrefix(prefix, "Benchmark"),
-					SerialNs: b.NsPerOp,
-					MaxNs:    m.NsPerOp,
-					Speedup:  b.NsPerOp / m.NsPerOp,
-				})
+		for _, p := range speedupPairs {
+			prefix, ok := strings.CutSuffix(b.Name, p.base)
+			if !ok {
+				continue
+			}
+			for _, m := range benches {
+				if m.Name == prefix+p.comp && m.NsPerOp > 0 {
+					out = append(out, Speedup{
+						Name:     strings.TrimPrefix(prefix, "Benchmark"),
+						SerialNs: b.NsPerOp,
+						MaxNs:    m.NsPerOp,
+						Speedup:  b.NsPerOp / m.NsPerOp,
+					})
+				}
 			}
 		}
 	}

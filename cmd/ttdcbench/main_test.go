@@ -18,6 +18,14 @@ BenchmarkSweepWorkersMax    	       1	 211853835 ns/op	25932320 B/op	  743456 al
 BenchmarkCacheWarm          	50000000	        34.1 ns/op
 PASS
 ok  	repro/internal/engine	0.862s
+goos: linux
+goarch: amd64
+pkg: repro/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCheckRequirement3N31D3Naive  	     416	   2869913 ns/op	   10168 B/op	     155 allocs/op
+BenchmarkCheckRequirement3N31D3Prefix-8 	    2794	    447110 ns/op	    3912 B/op	      46 allocs/op
+PASS
+ok  	repro/internal/core	5.151s
 `
 
 func TestParseAndDerive(t *testing.T) {
@@ -32,8 +40,8 @@ func TestParseAndDerive(t *testing.T) {
 	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
 		t.Errorf("header = %+v", doc)
 	}
-	if len(doc.Benchmarks) != 5 {
-		t.Fatalf("parsed %d benchmarks, want 5", len(doc.Benchmarks))
+	if len(doc.Benchmarks) != 7 {
+		t.Fatalf("parsed %d benchmarks, want 7", len(doc.Benchmarks))
 	}
 	// The -8 suffix is stripped; memory columns survive.
 	if doc.Benchmarks[1].Name != "BenchmarkCampaignWorkersMax" || doc.Benchmarks[1].BytesPerOp != 571296 {
@@ -43,7 +51,7 @@ func TestParseAndDerive(t *testing.T) {
 	if doc.Benchmarks[4].NsPerOp != 34.1 || doc.Benchmarks[4].Iterations != 50000000 {
 		t.Errorf("benchmarks[4] = %+v", doc.Benchmarks[4])
 	}
-	if len(doc.Speedups) != 2 {
+	if len(doc.Speedups) != 3 {
 		t.Fatalf("speedups = %+v", doc.Speedups)
 	}
 	if doc.Speedups[0].Name != "Campaign" || doc.Speedups[0].Speedup < 1.99 || doc.Speedups[0].Speedup > 2.01 {
@@ -51,6 +59,11 @@ func TestParseAndDerive(t *testing.T) {
 	}
 	if doc.Speedups[1].Name != "Sweep" {
 		t.Errorf("speedups[1] = %+v", doc.Speedups[1])
+	}
+	// The kernel Naive/Prefix pair derives an old-vs-new speedup too.
+	if doc.Speedups[2].Name != "CheckRequirement3N31D3" ||
+		doc.Speedups[2].Speedup < 6.41 || doc.Speedups[2].Speedup > 6.43 {
+		t.Errorf("speedups[2] = %+v", doc.Speedups[2])
 	}
 }
 

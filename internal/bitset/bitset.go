@@ -180,6 +180,31 @@ func (s *Set) DifferenceWith(o *Set) {
 	}
 }
 
+// CopyThenDifference overwrites s with a \ b in a single pass (s = a &^ b)
+// and reports whether the result is empty. It fuses the Copy+DifferenceWith
+// pair on the verification hot path: one level of the subset-enumeration
+// tree costs exactly one call, and the emptiness flag (needed for pruning)
+// falls out of the same word loop for free. s and a must have the same
+// capacity; b is treated as zero-padded beyond its own.
+func (s *Set) CopyThenDifference(a, b *Set) bool {
+	if s.cap != a.cap {
+		panic(fmt.Sprintf("bitset: CopyThenDifference capacity mismatch %d != %d", s.cap, a.cap))
+	}
+	any := uint64(0)
+	n := minInt(len(a.words), len(b.words))
+	for i := 0; i < n; i++ {
+		w := a.words[i] &^ b.words[i]
+		s.words[i] = w
+		any |= w
+	}
+	for i := n; i < len(a.words); i++ {
+		w := a.words[i]
+		s.words[i] = w
+		any |= w
+	}
+	return any == 0
+}
+
 // Union returns a new set containing the union of s and o, with the larger
 // of the two capacities.
 func Union(s, o *Set) *Set {
@@ -261,6 +286,31 @@ func (s *Set) DifferenceCount(o *Set) int {
 // shared words; it is an alias of SubsetOf kept for call-site readability in
 // freeSlots-style expressions.
 func (s *Set) DifferenceEmpty(o *Set) bool { return s.SubsetOf(o) }
+
+// DifferenceIntersectionCount returns |(s \ o) ∩ mask| without
+// materializing the difference. This is the 𝒯(x, y, S) cardinality of the
+// throughput scan — |freeSlots ∩ recv(y)| — evaluated at the last level of
+// the enumeration tree in one pass. o and mask are treated as zero-padded
+// beyond their own capacities.
+func (s *Set) DifferenceIntersectionCount(o, mask *Set) int {
+	n := 0
+	m := minInt(len(s.words), len(mask.words))
+	ov := minInt(m, len(o.words))
+	for i := 0; i < ov; i++ {
+		n += bits.OnesCount64(s.words[i] &^ o.words[i] & mask.words[i])
+	}
+	for i := ov; i < m; i++ {
+		n += bits.OnesCount64(s.words[i] & mask.words[i])
+	}
+	return n
+}
+
+// Words exposes the backing word slice (bit i of word w is element
+// 64*w + i). It exists for the verification kernels in internal/core, whose
+// innermost leaf loops fuse several set operations into single word scans;
+// callers must treat the slice as read-only and must not retain it past the
+// set's lifetime. All other callers should use the set operations above.
+func (s *Set) Words() []uint64 { return s.words }
 
 // ForEach calls fn for each element of the set in increasing order. If fn
 // returns false, iteration stops early.

@@ -290,6 +290,90 @@ func TestQuickCountsMatchAllocFree(t *testing.T) {
 	}
 }
 
+func TestCopyThenDifference(t *testing.T) {
+	a := FromSlice(130, []int{0, 5, 64, 100, 129})
+	b := FromSlice(130, []int{5, 100})
+	dst := New(130)
+	dst.Add(7) // stale content must be overwritten
+	if dst.CopyThenDifference(a, b) {
+		t.Fatal("non-empty difference reported empty")
+	}
+	if !dst.Equal(Difference(a, b)) {
+		t.Fatalf("CopyThenDifference = %v, want %v", dst, Difference(a, b))
+	}
+	if dst.Contains(7) {
+		t.Fatal("stale element survived")
+	}
+	// Shorter operand b: the tail of a must be copied through.
+	short := FromSlice(10, []int{0})
+	if dst.CopyThenDifference(a, short) {
+		t.Fatal("reported empty")
+	}
+	if !dst.Equal(Difference(a, short)) {
+		t.Fatalf("short-operand difference = %v", dst)
+	}
+	// Empty result is reported.
+	if !dst.CopyThenDifference(a, a.Clone()) {
+		t.Fatal("a \\ a not reported empty")
+	}
+	if !dst.Empty() {
+		t.Fatal("a \\ a not empty")
+	}
+}
+
+func TestCopyThenDifferenceCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity mismatch accepted")
+		}
+	}()
+	New(10).CopyThenDifference(New(20), New(20))
+}
+
+func TestQuickCopyThenDifference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		a, b := randomSet(r, n), randomSet(r, n)
+		dst := New(n)
+		empty := dst.CopyThenDifference(a, b)
+		return dst.Equal(Difference(a, b)) && empty == dst.Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDifferenceIntersectionCount(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		a, b, m := randomSet(r, n), randomSet(r, n), randomSet(r, n)
+		want := Intersect(Difference(a, b), m).Count()
+		if a.DifferenceIntersectionCount(b, m) != want {
+			return false
+		}
+		// Shorter operands behave as zero-padded.
+		bs := randomSet(r, 1+r.Intn(n))
+		ms := randomSet(r, 1+r.Intn(n))
+		return a.DifferenceIntersectionCount(bs, ms) == Intersect(Difference(a, bs), ms).Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordsViewMatchesElements(t *testing.T) {
+	s := FromSlice(130, []int{0, 63, 64, 129})
+	w := s.Words()
+	if len(w) != 3 {
+		t.Fatalf("words = %d, want 3", len(w))
+	}
+	if w[0] != 1|1<<63 || w[1] != 1 || w[2] != 2 {
+		t.Fatalf("words = %#x", w)
+	}
+}
+
 func TestQuickElementsRoundTrip(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))

@@ -109,6 +109,7 @@ func (f *Family) FindViolation(d int) *Violation {
 	n := f.N()
 	union := bitset.New(f.L)
 	others := make([]int, 0, n-1)
+	var enum combin.Enumerator // one index scratch for all n walks
 	var found *Violation
 	for x := 0; x < n && found == nil; x++ {
 		others = others[:0]
@@ -129,7 +130,7 @@ func (f *Family) FindViolation(d int) *Violation {
 			}
 			continue
 		}
-		combin.CombinationsOf(others, d, func(sub []int) bool {
+		enum.CombinationsOf(others, d, func(sub []int) bool {
 			union.Clear()
 			for _, y := range sub {
 				union.UnionWith(f.Sets[y])

@@ -45,20 +45,41 @@ func RatFromInts(num, den *big.Int) *big.Rat {
 	return new(big.Rat).SetFrac(num, den)
 }
 
-// Combinations calls fn with each k-subset of {0, ..., n-1} in
-// lexicographic order. The slice passed to fn is reused between calls; the
-// callback must copy it if it needs to retain it. If fn returns false,
-// enumeration stops early. The number of subsets visited is returned.
-//
-// k == 0 yields a single empty subset. k > n yields nothing.
-func Combinations(n, k int, fn func(subset []int) bool) int {
+// Enumerator holds the reusable scratch of the subset iterators. The
+// package-level Combinations and CombinationsOf allocate their index
+// buffers on every call, which the exhaustive verifiers in internal/core
+// pay millions of times; an Enumerator amortizes that to zero steady-state
+// allocations. The zero value is ready to use; an Enumerator is not safe
+// for concurrent use, and its methods must not be re-entered from their own
+// callbacks.
+type Enumerator struct {
+	idx []int // combination indices / walk prefix, grown on demand
+	buf []int // universe-mapped subset for CombinationsOf
+}
+
+// NewEnumerator returns an Enumerator. Equivalent to new(Enumerator); it
+// exists so call sites read as intent rather than zero-value trivia.
+func NewEnumerator() *Enumerator { return new(Enumerator) }
+
+// scratch returns a length-k int slice backed by *store, growing the
+// backing array only when k exceeds every previous request.
+func scratch(store *[]int, k int) []int {
+	if cap(*store) < k {
+		*store = make([]int, k)
+	}
+	return (*store)[:k]
+}
+
+// Combinations is the reusable-scratch form of the package-level
+// Combinations: identical order, callback contract, and return value.
+func (e *Enumerator) Combinations(n, k int, fn func(subset []int) bool) int {
 	if k < 0 || n < 0 {
 		panic(fmt.Sprintf("combin: Combinations(%d, %d)", n, k))
 	}
 	if k > n {
 		return 0
 	}
-	idx := make([]int, k)
+	idx := scratch(&e.idx, k)
 	for i := range idx {
 		idx[i] = i
 	}
@@ -83,17 +104,101 @@ func Combinations(n, k int, fn func(subset []int) bool) int {
 	}
 }
 
-// CombinationsOf enumerates the k-subsets of the given universe slice, in
-// lexicographic order of positions. As with Combinations, the slice passed
-// to fn is reused.
-func CombinationsOf(universe []int, k int, fn func(subset []int) bool) int {
-	buf := make([]int, k)
-	return Combinations(len(universe), k, func(pos []int) bool {
+// CombinationsOf is the reusable-scratch form of the package-level
+// CombinationsOf.
+func (e *Enumerator) CombinationsOf(universe []int, k int, fn func(subset []int) bool) int {
+	buf := scratch(&e.buf, k)
+	return e.Combinations(len(universe), k, func(pos []int) bool {
 		for i, p := range pos {
 			buf[i] = universe[p]
 		}
 		return fn(buf)
 	})
+}
+
+// WalkControl directs WalkKSubsets at each node of the enumeration tree.
+type WalkControl int
+
+const (
+	// WalkDescend continues into the node's children (for a leaf: accepts
+	// it and moves on to the next subset).
+	WalkDescend WalkControl = iota
+	// WalkPrune skips the entire subtree below the current node — all
+	// C(n-1-pos, k-depth) completions of the current prefix — and resumes
+	// with the node's next sibling.
+	WalkPrune
+	// WalkStop aborts the whole walk immediately.
+	WalkStop
+)
+
+// WalkKSubsets drives a depth-first walk over the k-subsets of {0..n-1},
+// visiting full subsets in exactly the lexicographic order of Combinations.
+// Unlike Combinations, the walk exposes every prefix: visit is called once
+// per tree node — once for each strictly increasing sequence of elements
+// that can still be completed to a k-subset — with the current prefix
+// (length 1..k; a prefix of length k is a complete subset). This is the
+// shape that lets callers cache per-prefix state (e.g. the running
+// free-slot intersection of the topology-transparency checks) and prune
+// whole subtrees: extending a prefix costs one visit instead of re-deriving
+// k elements per subset.
+//
+// The prefix slice is reused between calls and must not be retained. The
+// return value reports whether the walk ran to completion (false iff some
+// visit returned WalkStop). k == 0 has a single empty subset and no
+// prefixes, so visit is never called; k > n walks nothing.
+func (e *Enumerator) WalkKSubsets(n, k int, visit func(prefix []int) WalkControl) bool {
+	if k < 0 || n < 0 {
+		panic(fmt.Sprintf("combin: WalkKSubsets(%d, %d)", n, k))
+	}
+	if k == 0 || k > n {
+		return true
+	}
+	prefix := scratch(&e.idx, k)
+	return walk(prefix, n, 0, 0, visit)
+}
+
+// walk extends prefix[:depth] with every element in [start, n-(k-depth-1))
+// — the positions that leave room for the remaining k-depth-1 elements —
+// recursing one level per chosen element. It returns false when a visit
+// requested WalkStop.
+func walk(prefix []int, n, depth, start int, visit func(prefix []int) WalkControl) bool {
+	k := len(prefix)
+	for pos := start; pos < n-(k-depth-1); pos++ {
+		prefix[depth] = pos
+		switch visit(prefix[:depth+1]) {
+		case WalkStop:
+			return false
+		case WalkPrune:
+			continue
+		}
+		if depth+1 < k {
+			if !walk(prefix, n, depth+1, pos+1, visit) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Combinations calls fn with each k-subset of {0, ..., n-1} in
+// lexicographic order. The slice passed to fn is reused between calls; the
+// callback must copy it if it needs to retain it. If fn returns false,
+// enumeration stops early. The number of subsets visited is returned.
+//
+// k == 0 yields a single empty subset. k > n yields nothing. Callers on a
+// hot path should prefer an Enumerator, which reuses the index scratch
+// across calls.
+func Combinations(n, k int, fn func(subset []int) bool) int {
+	var e Enumerator
+	return e.Combinations(n, k, fn)
+}
+
+// CombinationsOf enumerates the k-subsets of the given universe slice, in
+// lexicographic order of positions. As with Combinations, the slice passed
+// to fn is reused, and hot paths should prefer the Enumerator form.
+func CombinationsOf(universe []int, k int, fn func(subset []int) bool) int {
+	var e Enumerator
+	return e.CombinationsOf(universe, k, fn)
 }
 
 // ArgmaxInt returns the x in candidates maximizing f(x), breaking ties in

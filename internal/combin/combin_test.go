@@ -161,6 +161,188 @@ func TestCombinationsOf(t *testing.T) {
 	}
 }
 
+func TestEnumeratorMatchesPackageForms(t *testing.T) {
+	e := NewEnumerator()
+	for n := 0; n <= 8; n++ {
+		for k := 0; k <= n+1; k++ {
+			var want, got [][]int
+			Combinations(n, k, func(s []int) bool {
+				want = append(want, append([]int(nil), s...))
+				return true
+			})
+			e.Combinations(n, k, func(s []int) bool {
+				got = append(got, append([]int(nil), s...))
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("(%d,%d): %d subsets, want %d", n, k, len(got), len(want))
+			}
+			for i := range want {
+				if !equalInts(got[i], want[i]) {
+					t.Fatalf("(%d,%d) subset %d = %v, want %v", n, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	// The universe-mapped form, reusing the same enumerator with a larger k
+	// than some previous call (scratch must regrow correctly).
+	var got [][]int
+	e.CombinationsOf([]int{7, 8, 9, 10}, 3, func(s []int) bool {
+		got = append(got, append([]int(nil), s...))
+		return true
+	})
+	if len(got) != 4 || !equalInts(got[0], []int{7, 8, 9}) || !equalInts(got[3], []int{8, 9, 10}) {
+		t.Fatalf("CombinationsOf = %v", got)
+	}
+}
+
+func TestEnumeratorEarlyStopCount(t *testing.T) {
+	e := NewEnumerator()
+	n := 0
+	visited := e.Combinations(10, 2, func([]int) bool {
+		n++
+		return n < 3
+	})
+	if visited != 3 {
+		t.Fatalf("visited %d, want 3", visited)
+	}
+}
+
+// walkLeaves collects the complete subsets a WalkKSubsets visit sequence
+// produces, asserting prefixes arrive in parent-before-child order.
+func walkLeaves(t *testing.T, e *Enumerator, n, k int) [][]int {
+	t.Helper()
+	var leaves [][]int
+	var last []int
+	e.WalkKSubsets(n, k, func(prefix []int) WalkControl {
+		if len(prefix) == 0 || len(prefix) > k {
+			t.Fatalf("prefix length %d outside [1,%d]", len(prefix), k)
+		}
+		for i := 1; i < len(prefix); i++ {
+			if prefix[i-1] >= prefix[i] {
+				t.Fatalf("non-increasing prefix %v", prefix)
+			}
+		}
+		// Every non-root prefix must extend the previously seen node's
+		// prefix chain (DFS order).
+		if len(prefix) > 1 && (last == nil || !equalInts(prefix[:len(prefix)-1], last[:len(prefix)-1])) {
+			t.Fatalf("prefix %v does not extend walk position %v", prefix, last)
+		}
+		last = append(last[:0], prefix...)
+		if len(prefix) == k {
+			leaves = append(leaves, append([]int(nil), prefix...))
+		}
+		return WalkDescend
+	})
+	return leaves
+}
+
+func TestWalkKSubsetsMatchesCombinations(t *testing.T) {
+	e := NewEnumerator()
+	for n := 0; n <= 8; n++ {
+		for k := 1; k <= n+1; k++ {
+			var want [][]int
+			Combinations(n, k, func(s []int) bool {
+				want = append(want, append([]int(nil), s...))
+				return true
+			})
+			got := walkLeaves(t, e, n, k)
+			if len(got) != len(want) {
+				t.Fatalf("(%d,%d): %d leaves, want %d", n, k, len(got), len(want))
+			}
+			for i := range want {
+				if !equalInts(got[i], want[i]) {
+					t.Fatalf("(%d,%d) leaf %d = %v, want %v", n, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestWalkKSubsetsPrune(t *testing.T) {
+	// Pruning every prefix starting with 0 must drop exactly the C(4,2)
+	// leaves {0,_,_} and keep the rest in lexicographic order.
+	e := NewEnumerator()
+	var leaves [][]int
+	e.WalkKSubsets(5, 3, func(prefix []int) WalkControl {
+		if len(prefix) == 1 && prefix[0] == 0 {
+			return WalkPrune
+		}
+		if len(prefix) == 3 {
+			leaves = append(leaves, append([]int(nil), prefix...))
+		}
+		return WalkDescend
+	})
+	want := [][]int{{1, 2, 3}, {1, 2, 4}, {1, 3, 4}, {2, 3, 4}}
+	if len(leaves) != len(want) {
+		t.Fatalf("leaves = %v, want %v", leaves, want)
+	}
+	for i := range want {
+		if !equalInts(leaves[i], want[i]) {
+			t.Fatalf("leaves = %v, want %v", leaves, want)
+		}
+	}
+	// Pruning a leaf is equivalent to accepting it: the sibling scan goes on.
+	count := 0
+	e.WalkKSubsets(4, 2, func(prefix []int) WalkControl {
+		if len(prefix) == 2 {
+			count++
+			return WalkPrune
+		}
+		return WalkDescend
+	})
+	if count != 6 {
+		t.Fatalf("leaf prune visited %d leaves, want 6", count)
+	}
+}
+
+func TestWalkKSubsetsStop(t *testing.T) {
+	e := NewEnumerator()
+	visits := 0
+	done := e.WalkKSubsets(6, 3, func(prefix []int) WalkControl {
+		visits++
+		if len(prefix) == 2 {
+			return WalkStop
+		}
+		return WalkDescend
+	})
+	if done {
+		t.Fatal("stopped walk reported complete")
+	}
+	if visits != 2 { // {0}, then {0,1}
+		t.Fatalf("visits = %d, want 2", visits)
+	}
+	if !e.WalkKSubsets(6, 3, func([]int) WalkControl { return WalkDescend }) {
+		t.Fatal("complete walk reported stopped")
+	}
+}
+
+func TestWalkKSubsetsDegenerate(t *testing.T) {
+	e := NewEnumerator()
+	calls := 0
+	if !e.WalkKSubsets(4, 0, func([]int) WalkControl { calls++; return WalkDescend }) {
+		t.Fatal("k=0 walk reported stopped")
+	}
+	if !e.WalkKSubsets(2, 5, func([]int) WalkControl { calls++; return WalkDescend }) {
+		t.Fatal("k>n walk reported stopped")
+	}
+	if calls != 0 {
+		t.Fatalf("degenerate walks visited %d nodes, want 0", calls)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestArgmaxInt(t *testing.T) {
 	f := func(x int) *big.Int { return big.NewInt(int64(-(x - 3) * (x - 3))) }
 	if got := ArgmaxInt([]int{0, 1, 2, 3, 4, 5}, f); got != 3 {

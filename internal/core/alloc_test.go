@@ -1,0 +1,55 @@
+//go:build !race
+
+// The race detector instruments memory operations in ways that can
+// allocate, so the allocation pins only run in the plain test pass
+// (`make test`); `make race` still runs every functional test.
+
+package core
+
+import (
+	"testing"
+)
+
+// Result sinks keep the measured calls from being optimized away without
+// allocating inside the measured closures.
+var (
+	sinkWitness *Witness
+	sinkReq2    *Req2Witness
+	sinkSlots   int
+)
+
+// TestVerifierZeroAllocsWarm pins the Verifier's zero-steady-state-
+// allocation guarantee: after construction (and one warm-up call to grow
+// the walker scratch), the requirement checkers and the integer throughput
+// scan must not allocate at all on a satisfying schedule. Witnesses (only
+// built on violations) and big.Rat results are the documented exceptions.
+func TestVerifierZeroAllocsWarm(t *testing.T) {
+	s := tdma(10)
+	const d = 3
+	v := NewVerifier(s, d)
+	if v.Requirement3() != nil || v.Requirement2() != nil {
+		t.Fatal("TDMA must satisfy the requirements")
+	}
+	v.MinThroughputSlots() // warm the throughput walk scratch too
+
+	cases := []struct {
+		name string
+		call func()
+	}{
+		{"Requirement1", func() { sinkWitness = v.Requirement1() }},
+		{"Requirement1Node", func() { sinkWitness = v.Requirement1Node(4) }},
+		{"Requirement3", func() { sinkWitness = v.Requirement3() }},
+		{"Requirement3Node", func() { sinkWitness = v.Requirement3Node(4) }},
+		{"Requirement2", func() { sinkReq2 = v.Requirement2() }},
+		{"MinThroughputSlots", func() { sinkSlots = v.MinThroughputSlots() }},
+	}
+	for _, tc := range cases {
+		sinkWitness, sinkReq2, sinkSlots = nil, nil, -1
+		if allocs := testing.AllocsPerRun(20, tc.call); allocs != 0 {
+			t.Errorf("%s: %v allocs per warm run, want 0", tc.name, allocs)
+		}
+		if sinkWitness != nil || sinkReq2 != nil {
+			t.Errorf("%s: unexpected violation witness on TDMA", tc.name)
+		}
+	}
+}

@@ -6,17 +6,15 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-
-	"repro/internal/bitset"
-	"repro/internal/combin"
 )
 
 // Parallel variants of the exhaustive verifiers. The Requirement checkers
 // and the minimum-throughput scan iterate over n·C(n-1, D) (respectively
 // n²·C(n-2, D-1)) subsets — embarrassingly parallel over the transmitter
-// node x. Each worker owns its scratch bitsets (no sharing on the hot
-// path) and results merge deterministically, so these return exactly what
-// their sequential counterparts do regardless of the worker count.
+// node x. Each worker owns a private Verifier (all scratch local, no
+// sharing on the hot path) and results merge deterministically, so these
+// return exactly what their sequential counterparts do regardless of the
+// worker count.
 //
 // Use the parallel variants for large classes on multi-core hosts; on a
 // single core the goroutine scheduling overhead makes the sequential
@@ -31,16 +29,12 @@ func resolveWorkers(workers int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// CheckRequirement3Parallel is CheckRequirement3 distributed over workers
-// goroutines (0 = GOMAXPROCS). It returns the violation with the smallest
-// transmitter node x (and, for that x, the first violating Y in
-// lexicographic order) — the same witness the sequential checker finds.
-func CheckRequirement3Parallel(s *Schedule, d, workers int) *Witness {
-	validateD(s.n, d)
-	w := resolveWorkers(workers)
-	if w <= 1 || s.n < 2 {
-		return CheckRequirement3(s, d)
-	}
+// parallelWitnessScan distributes a per-node witness check over w workers,
+// returning the violation with the smallest transmitter node x (and, for
+// that x, the first violating Y in lexicographic order) — the same witness
+// the sequential checker finds. check is invoked on a worker-private
+// Verifier.
+func parallelWitnessScan(s *Schedule, d, w int, check func(v *Verifier, x int) *Witness) *Witness {
 	// bestX holds the smallest x with a known violation; workers skip any
 	// x beyond it (a violation at smaller x supersedes theirs).
 	var bestX atomic.Int64
@@ -52,8 +46,7 @@ func CheckRequirement3Parallel(s *Schedule, d, workers int) *Witness {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			others := make([]int, 0, s.n-1)
-			fs := bitset.New(s.L())
+			v := NewVerifier(s, d)
 			for {
 				x := int(next.Add(1)) - 1
 				if x >= s.n {
@@ -62,31 +55,7 @@ func CheckRequirement3Parallel(s *Schedule, d, workers int) *Witness {
 				if int64(x) > bestX.Load() {
 					continue // a smaller-x violation already exists
 				}
-				others = others[:0]
-				for v := 0; v < s.n; v++ {
-					if v != x {
-						others = append(others, v)
-					}
-				}
-				var found *Witness
-				combin.CombinationsOf(others, d, func(y []int) bool {
-					fs.Copy(s.tran[x])
-					for _, v := range y {
-						fs.DifferenceWith(s.tran[v])
-					}
-					if fs.Empty() {
-						found = &Witness{X: x, Y: append([]int(nil), y...), K: -1}
-						return false
-					}
-					for k, v := range y {
-						if !s.recv[v].Intersects(fs) {
-							found = &Witness{X: x, Y: append([]int(nil), y...), K: k}
-							return false
-						}
-					}
-					return true
-				})
-				if found != nil {
+				if found := check(v, x); found != nil {
 					results[x] = found
 					// Lower bestX monotonically.
 					for {
@@ -108,6 +77,21 @@ func CheckRequirement3Parallel(s *Schedule, d, workers int) *Witness {
 	return nil
 }
 
+// CheckRequirement3Parallel is CheckRequirement3 distributed over workers
+// goroutines (0 = GOMAXPROCS). It returns the violation with the smallest
+// transmitter node x (and, for that x, the first violating Y in
+// lexicographic order) — the same witness the sequential checker finds.
+func CheckRequirement3Parallel(s *Schedule, d, workers int) *Witness {
+	validateD(s.n, d)
+	w := resolveWorkers(workers)
+	if w <= 1 || s.n < 2 {
+		return CheckRequirement3(s, d)
+	}
+	return parallelWitnessScan(s, d, w, func(v *Verifier, x int) *Witness {
+		return v.Requirement3Node(x)
+	})
+}
+
 // CheckRequirement1Parallel is CheckRequirement1 distributed over workers
 // goroutines (0 = GOMAXPROCS), with the same smallest-x witness guarantee.
 func CheckRequirement1Parallel(s *Schedule, d, workers int) *Witness {
@@ -116,62 +100,9 @@ func CheckRequirement1Parallel(s *Schedule, d, workers int) *Witness {
 	if w <= 1 || s.n < 2 {
 		return CheckRequirement1(s, d)
 	}
-	var bestX atomic.Int64
-	bestX.Store(math.MaxInt64)
-	results := make([]*Witness, s.n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for i := 0; i < w; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			others := make([]int, 0, s.n-1)
-			fs := bitset.New(s.L())
-			for {
-				x := int(next.Add(1)) - 1
-				if x >= s.n {
-					return
-				}
-				if int64(x) > bestX.Load() {
-					continue
-				}
-				others = others[:0]
-				for v := 0; v < s.n; v++ {
-					if v != x {
-						others = append(others, v)
-					}
-				}
-				var found *Witness
-				combin.CombinationsOf(others, d, func(y []int) bool {
-					fs.Copy(s.tran[x])
-					for _, v := range y {
-						fs.DifferenceWith(s.tran[v])
-					}
-					if fs.Empty() {
-						found = &Witness{X: x, Y: append([]int(nil), y...), K: -1}
-						return false
-					}
-					return true
-				})
-				if found != nil {
-					results[x] = found
-					for {
-						cur := bestX.Load()
-						if int64(x) >= cur || bestX.CompareAndSwap(cur, int64(x)) {
-							break
-						}
-					}
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	for x := 0; x < s.n; x++ {
-		if results[x] != nil {
-			return results[x]
-		}
-	}
-	return nil
+	return parallelWitnessScan(s, d, w, func(v *Verifier, x int) *Witness {
+		return v.Requirement1Node(x)
+	})
 }
 
 // MinThroughputParallel is MinThroughput distributed over workers
@@ -192,46 +123,18 @@ func MinThroughputParallel(s *Schedule, d, workers int) *big.Rat {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			others := make([]int, 0, s.n-2)
-			fs := bitset.New(s.L())
+			v := NewVerifier(s, d)
 			for {
 				x := int(next.Add(1)) - 1
 				if x >= s.n {
 					return
 				}
-				localMin := -1
 				if zero.Load() {
 					mins[x] = 0
 					continue
 				}
-				for y := 0; y < s.n && localMin != 0; y++ {
-					if y == x {
-						continue
-					}
-					others = others[:0]
-					for v := 0; v < s.n; v++ {
-						if v != x && v != y {
-							others = append(others, v)
-						}
-					}
-					combin.CombinationsOf(others, d-1, func(set []int) bool {
-						fs.Copy(s.tran[x])
-						fs.DifferenceWith(s.tran[y])
-						for _, v := range set {
-							fs.DifferenceWith(s.tran[v])
-						}
-						fs.IntersectWith(s.recv[y])
-						if c := fs.Count(); localMin < 0 || c < localMin {
-							localMin = c
-						}
-						return localMin != 0
-					})
-				}
-				if localMin < 0 {
-					localMin = 0
-				}
-				mins[x] = localMin
-				if localMin == 0 {
+				mins[x] = v.minThroughputNode(x)
+				if mins[x] == 0 {
 					zero.Store(true)
 				}
 			}

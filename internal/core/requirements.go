@@ -2,9 +2,6 @@ package core
 
 import (
 	"fmt"
-
-	"repro/internal/bitset"
-	"repro/internal/combin"
 )
 
 // Witness records a violation of a topology-transparency requirement: for
@@ -31,36 +28,22 @@ func validateD(n, d int) {
 	}
 }
 
+func validateNode(n, x int) {
+	if x < 0 || x >= n {
+		panic(fmt.Sprintf("core: node %d out of range [0,%d)", x, n))
+	}
+}
+
 // CheckRequirement1 exhaustively verifies Requirement 1 on the transmission
 // half ⟨T⟩ of the schedule: for every node x and every set Y of D other
 // nodes, freeSlots(x, Y) ≠ ∅. It returns a violation witness or nil.
 // This is the cover-free-family condition; only tran(·) is consulted, so it
 // may be applied to any schedule, sleeping or not.
+//
+// The scan runs on the prefix-cached Verifier kernel; construct a Verifier
+// directly to amortize its scratch over many checks of the same schedule.
 func CheckRequirement1(s *Schedule, d int) *Witness {
-	validateD(s.n, d)
-	var found *Witness
-	others := make([]int, 0, s.n-1)
-	fs := bitset.New(s.L())
-	for x := 0; x < s.n && found == nil; x++ {
-		others = others[:0]
-		for v := 0; v < s.n; v++ {
-			if v != x {
-				others = append(others, v)
-			}
-		}
-		combin.CombinationsOf(others, d, func(y []int) bool {
-			fs.Copy(s.tran[x])
-			for _, v := range y {
-				fs.DifferenceWith(s.tran[v])
-			}
-			if fs.Empty() {
-				found = &Witness{X: x, Y: append([]int(nil), y...), K: -1}
-				return false
-			}
-			return true
-		})
-	}
-	return found
+	return NewVerifier(s, d).Requirement1()
 }
 
 // CheckRequirement3 exhaustively verifies Requirement 3: for every node x
@@ -70,13 +53,7 @@ func CheckRequirement1(s *Schedule, d int) *Witness {
 // certifies (by Theorem 1 ⇔ Requirement 2, and the discussion in §4 of the
 // paper) that the schedule is topology-transparent for N(n, D).
 func CheckRequirement3(s *Schedule, d int) *Witness {
-	validateD(s.n, d)
-	for x := 0; x < s.n; x++ {
-		if w := CheckRequirement3Node(s, d, x); w != nil {
-			return w
-		}
-	}
-	return nil
+	return NewVerifier(s, d).Requirement3()
 }
 
 // CheckRequirement3Node verifies Requirement 3 restricted to a single
@@ -86,36 +63,7 @@ func CheckRequirement3(s *Schedule, d int) *Witness {
 // schedule optimizers use the per-node form to probe constraints in
 // arbitrary order.
 func CheckRequirement3Node(s *Schedule, d, x int) *Witness {
-	validateD(s.n, d)
-	if x < 0 || x >= s.n {
-		panic(fmt.Sprintf("core: node %d out of range [0,%d)", x, s.n))
-	}
-	others := make([]int, 0, s.n-1)
-	for v := 0; v < s.n; v++ {
-		if v != x {
-			others = append(others, v)
-		}
-	}
-	fs := bitset.New(s.L())
-	var found *Witness
-	combin.CombinationsOf(others, d, func(y []int) bool {
-		fs.Copy(s.tran[x])
-		for _, v := range y {
-			fs.DifferenceWith(s.tran[v])
-		}
-		if fs.Empty() {
-			found = &Witness{X: x, Y: append([]int(nil), y...), K: -1}
-			return false
-		}
-		for k, v := range y {
-			if !s.recv[v].Intersects(fs) {
-				found = &Witness{X: x, Y: append([]int(nil), y...), K: k}
-				return false
-			}
-		}
-		return true
-	})
-	return found
+	return NewVerifier(s, d).Requirement3Node(x)
 }
 
 // Req2Witness records a violation of Requirement 2: the σ-slots from X to
@@ -139,40 +87,7 @@ func (w *Req2Witness) String() string {
 // d = 0 the union is empty, so σ(x, y) = ∅ is itself a violation, which
 // the d-maximal check also reports.)
 func CheckRequirement2(s *Schedule, d int) *Req2Witness {
-	validateD(s.n, d)
-	k := d - 1
-	if k > s.n-2 {
-		k = s.n - 2
-	}
-	var found *Req2Witness
-	others := make([]int, 0, s.n-2)
-	union := bitset.New(s.L())
-	for x := 0; x < s.n && found == nil; x++ {
-		for y := 0; y < s.n && found == nil; y++ {
-			if y == x {
-				continue
-			}
-			sigmaXY := s.Sigma(x, y)
-			others = others[:0]
-			for v := 0; v < s.n; v++ {
-				if v != x && v != y {
-					others = append(others, v)
-				}
-			}
-			combin.CombinationsOf(others, k, func(interf []int) bool {
-				union.Clear()
-				for _, v := range interf {
-					union.UnionWith(s.Sigma(v, y))
-				}
-				if sigmaXY.SubsetOf(union) {
-					found = &Req2Witness{X: x, Y: y, Interferer: append([]int(nil), interf...)}
-					return false
-				}
-				return true
-			})
-		}
-	}
-	return found
+	return NewVerifier(s, d).Requirement2()
 }
 
 // IsTopologyTransparent reports whether the schedule satisfies Requirement

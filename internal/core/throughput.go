@@ -16,65 +16,20 @@ import (
 // with |S| = D-1 of |𝒯(x, y, S)| / L. The schedule is topology-transparent
 // for N(n, D) exactly when this value is positive.
 //
-// Cost is Θ(n² · C(n-2, D-1) · L/64); intended for analysis-scale n.
+// Cost of the underlying scan is O(n² · C(n-2, D-1) · L/64) with heavy
+// pruning; it runs on the prefix-cached Verifier kernel. Construct a
+// Verifier directly to amortize its scratch over many evaluations.
 func MinThroughput(s *Schedule, d int) *big.Rat {
-	validateD(s.n, d)
-	minSlots := -1
-	forEachTriple(s, d, func(x, y int, set []int) bool {
-		c := s.TSlots(x, y, set).Count()
-		if minSlots < 0 || c < minSlots {
-			minSlots = c
-		}
-		return minSlots != 0 // stop early at zero: it cannot go lower
-	})
-	if minSlots < 0 {
-		minSlots = 0
-	}
-	return big.NewRat(int64(minSlots), int64(s.L()))
-}
-
-// forEachTriple enumerates all ordered pairs x ≠ y and all (D-1)-subsets S
-// of V_n - {x, y}, invoking fn; returning false stops enumeration.
-func forEachTriple(s *Schedule, d int, fn func(x, y int, set []int) bool) {
-	others := make([]int, 0, s.n-2)
-	stop := false
-	for x := 0; x < s.n && !stop; x++ {
-		for y := 0; y < s.n && !stop; y++ {
-			if y == x {
-				continue
-			}
-			others = others[:0]
-			for v := 0; v < s.n; v++ {
-				if v != x && v != y {
-					others = append(others, v)
-				}
-			}
-			combin.CombinationsOf(others, d-1, func(set []int) bool {
-				if !fn(x, y, set) {
-					stop = true
-					return false
-				}
-				return true
-			})
-		}
-	}
+	return NewVerifier(s, d).MinThroughput()
 }
 
 // AvgThroughputBruteForce computes Thr^ave (Definition 2) directly from its
 // definition: F = Σ_{x≠y} Σ_{S} |𝒯(x,y,S)| divided by
 // n(n-1)·C(n-2, D-1)·L. Exponential in D; used to cross-validate the
-// Theorem 2 closed form on small instances.
+// Theorem 2 closed form on small instances. It runs on the prefix-cached
+// Verifier kernel.
 func AvgThroughputBruteForce(s *Schedule, d int) *big.Rat {
-	validateD(s.n, d)
-	f := new(big.Int)
-	forEachTriple(s, d, func(x, y int, set []int) bool {
-		f.Add(f, big.NewInt(int64(s.TSlots(x, y, set).Count())))
-		return true
-	})
-	den := new(big.Int).Mul(big.NewInt(int64(s.n)), big.NewInt(int64(s.n-1)))
-	den.Mul(den, combin.Binomial(s.n-2, d-1))
-	den.Mul(den, big.NewInt(int64(s.L())))
-	return combin.RatFromInts(f, den)
+	return NewVerifier(s, d).AvgThroughputBruteForce()
 }
 
 // AvgThroughput computes Thr^ave via the Theorem 2 closed form:

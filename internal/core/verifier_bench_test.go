@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cff"
+)
+
+// Benchmark pairs pinning the prefix-cached kernels against the naive
+// reference scans on the polynomial-construction schedules of the paper's
+// own operating points: (n=31, D=3) → GF(7), L=49 and (n=16, D=4) → GF(5),
+// L=25. The <Name>Naive / <Name>Prefix pairs are matched by cmd/ttdcbench
+// into the speedup table of BENCH_core.json (see `make bench`).
+
+func benchPolySchedule(b *testing.B, n, d int) *Schedule {
+	b.Helper()
+	fam, err := cff.PolynomialFor(n, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := ScheduleFromFamily(fam.L, fam.Sets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func benchRequirement3(b *testing.B, n, d int, naive bool) {
+	s := benchPolySchedule(b, n, d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var w *Witness
+		if naive {
+			w = checkRequirement3Naive(s, d)
+		} else {
+			w = CheckRequirement3(s, d)
+		}
+		if w != nil {
+			b.Fatal("polynomial schedule must satisfy Requirement 3")
+		}
+	}
+}
+
+func benchMinThroughput(b *testing.B, n, d int, naive bool) {
+	s := benchPolySchedule(b, n, d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sign int
+		if naive {
+			sign = minThroughputNaive(s, d).Sign()
+		} else {
+			sign = MinThroughput(s, d).Sign()
+		}
+		if sign <= 0 {
+			b.Fatal("polynomial schedule must have positive minimum throughput")
+		}
+	}
+}
+
+func BenchmarkCheckRequirement3N31D3Naive(b *testing.B)  { benchRequirement3(b, 31, 3, true) }
+func BenchmarkCheckRequirement3N31D3Prefix(b *testing.B) { benchRequirement3(b, 31, 3, false) }
+func BenchmarkCheckRequirement3N16D4Naive(b *testing.B)  { benchRequirement3(b, 16, 4, true) }
+func BenchmarkCheckRequirement3N16D4Prefix(b *testing.B) { benchRequirement3(b, 16, 4, false) }
+
+func BenchmarkMinThroughputN31D3Naive(b *testing.B)  { benchMinThroughput(b, 31, 3, true) }
+func BenchmarkMinThroughputN31D3Prefix(b *testing.B) { benchMinThroughput(b, 31, 3, false) }
+func BenchmarkMinThroughputN16D4Naive(b *testing.B)  { benchMinThroughput(b, 16, 4, true) }
+func BenchmarkMinThroughputN16D4Prefix(b *testing.B) { benchMinThroughput(b, 16, 4, false) }

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// The tests in this file pin the contract of the prefix-cached Verifier
+// kernels: byte-identical results to the *Naive reference scans, including
+// first-witness order, on satisfying schedules, randomized schedules, and
+// schedules with planted violations.
+
+func assertSameWitness(t *testing.T, ctx string, got, want *Witness) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: witness mismatch: got %+v, naive %+v", ctx, got, want)
+	}
+}
+
+func assertSameReq2Witness(t *testing.T, ctx string, got, want *Req2Witness) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: witness mismatch: got %+v, naive %+v", ctx, got, want)
+	}
+}
+
+func assertSameRat(t *testing.T, ctx string, got, want *big.Rat) {
+	t.Helper()
+	if got.Cmp(want) != 0 {
+		t.Fatalf("%s: value mismatch: got %v, naive %v", ctx, got, want)
+	}
+}
+
+// diffAllKernels cross-checks every prefix-cached kernel against its naive
+// reference on one (schedule, d) instance.
+func diffAllKernels(t *testing.T, ctx string, s *Schedule, d int) {
+	t.Helper()
+	assertSameWitness(t, ctx+"/req1", CheckRequirement1(s, d), checkRequirement1Naive(s, d))
+	assertSameWitness(t, ctx+"/req3", CheckRequirement3(s, d), checkRequirement3Naive(s, d))
+	assertSameReq2Witness(t, ctx+"/req2", CheckRequirement2(s, d), checkRequirement2Naive(s, d))
+	assertSameRat(t, ctx+"/min", MinThroughput(s, d), minThroughputNaive(s, d))
+	assertSameRat(t, ctx+"/avg", AvgThroughputBruteForce(s, d), avgThroughputBruteForceNaive(s, d))
+	for x := 0; x < s.N(); x++ {
+		assertSameWitness(t, fmt.Sprintf("%s/req3node(%d)", ctx, x),
+			CheckRequirement3Node(s, d, x), checkRequirement3NodeNaive(s, d, x))
+	}
+}
+
+// TestVerifierMatchesNaiveRandom runs the differential check over
+// randomized schedules across the (n, D) grid of the issue (n <= 12,
+// D <= 4), with densities chosen so the corpus mixes satisfying schedules,
+// condition-(1) violations, and condition-(2) violations.
+func TestVerifierMatchesNaiveRandom(t *testing.T) {
+	densities := []struct{ pT, pR float64 }{
+		{0.15, 0.9}, // sparse transmitters, most violations are condition (2)
+		{0.5, 0.5},  // dense transmitters drain free sets: condition (1)
+		{0.08, 0.3}, // heavy sleeping
+	}
+	for _, n := range []int{2, 3, 5, 8, 12} {
+		for d := 1; d <= 4 && d <= n-1; d++ {
+			for di, dens := range densities {
+				rng := stats.NewRNG(stats.DeriveSeed(7, uint64(n*100+d*10+di)))
+				for rep := 0; rep < 4; rep++ {
+					L := 1 + rng.Intn(20)
+					s := randomSchedule(rng, n, L, dens.pT, dens.pR)
+					ctx := fmt.Sprintf("n=%d d=%d L=%d dens=%d rep=%d", n, d, L, di, rep)
+					diffAllKernels(t, ctx, s, d)
+				}
+			}
+		}
+	}
+}
+
+// TestVerifierMatchesNaiveTDMA pins the satisfying-schedule path (no
+// witness, maximal enumeration work) and multi-word frames (L = n > 64
+// requires two words per slot set).
+func TestVerifierMatchesNaiveTDMA(t *testing.T) {
+	for _, n := range []int{2, 5, 9, 66} {
+		maxD := 3
+		if n-1 < maxD {
+			maxD = n - 1
+		}
+		for d := 1; d <= maxD; d++ {
+			s := tdma(n)
+			ctx := fmt.Sprintf("tdma n=%d d=%d", n, d)
+			if n > 12 {
+				// Full differential is too slow here; pin the checkers and min.
+				assertSameWitness(t, ctx+"/req1", CheckRequirement1(s, d), checkRequirement1Naive(s, d))
+				assertSameWitness(t, ctx+"/req3", CheckRequirement3(s, d), checkRequirement3Naive(s, d))
+				if CheckRequirement3(s, d) != nil {
+					t.Fatalf("%s: TDMA must satisfy Requirement 3", ctx)
+				}
+				continue
+			}
+			diffAllKernels(t, ctx, s, d)
+		}
+	}
+}
+
+// plantedSchedule builds TDMA-like schedules with a specific violation
+// planted, so the differential test provably covers witness construction
+// on both failure conditions and on every prune path.
+func plantedSchedule(t *testing.T, n int, mutate func(tr, rc [][]int)) *Schedule {
+	t.Helper()
+	tr := make([][]int, n)
+	rc := make([][]int, n)
+	for i := 0; i < n; i++ {
+		tr[i] = []int{i}
+		for x := 0; x < n; x++ {
+			if x != i {
+				rc[i] = append(rc[i], x)
+			}
+		}
+	}
+	mutate(tr, rc)
+	s, err := New(n, tr, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestVerifierMatchesNaivePlanted(t *testing.T) {
+	const n = 8
+	cases := []struct {
+		name   string
+		mutate func(tr, rc [][]int)
+	}{
+		// Node 3 transmits in every slot: freeSlots(x, Y) drains for every
+		// Y containing 3, violating condition (1) high in the tree.
+		{"cond1-drain", func(tr, rc [][]int) {
+			for i := range tr {
+				tr[i] = append(tr[i], 3)
+				rc[i] = removeNode(rc[i], 3)
+			}
+		}},
+		// Node 5 never receives: condition (2) fails for every Y containing
+		// 5 (K points at 5's position), at the receiver-mask prune.
+		{"cond2-deaf-receiver", func(tr, rc [][]int) {
+			for i := range rc {
+				rc[i] = removeNode(rc[i], 5)
+			}
+		}},
+		// Node 0 never transmits: its own free set starts empty, so the
+		// very first subtree of x = 0 prunes at the root.
+		{"cond1-silent-transmitter", func(tr, rc [][]int) {
+			tr[0] = nil
+			rc[0] = append(rc[0], 0)
+		}},
+		// Node 2 sleeps (neither transmits nor receives) in every slot:
+		// both its transmitter role and receiver role break.
+		{"sleeper", func(tr, rc [][]int) {
+			tr[2] = nil
+			for i := range rc {
+				rc[i] = removeNode(rc[i], 2)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		s := plantedSchedule(t, n, tc.mutate)
+		for d := 1; d <= 4; d++ {
+			diffAllKernels(t, fmt.Sprintf("%s d=%d", tc.name, d), s, d)
+		}
+	}
+}
+
+func removeNode(nodes []int, x int) []int {
+	out := nodes[:0]
+	for _, v := range nodes {
+		if v != x {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestVerifierReuse pins that one Verifier instance gives stable answers
+// across repeated and interleaved calls — per-call state must fully reset.
+func TestVerifierReuse(t *testing.T) {
+	rng := stats.NewRNG(stats.DeriveSeed(11, 0))
+	s := randomSchedule(rng, 9, 13, 0.2, 0.8)
+	const d = 3
+	v := NewVerifier(s, d)
+	wantW := checkRequirement3Naive(s, d)
+	wantMin := minThroughputNaive(s, d)
+	wantAvg := avgThroughputBruteForceNaive(s, d)
+	want2 := checkRequirement2Naive(s, d)
+	for i := 0; i < 3; i++ {
+		assertSameWitness(t, "reuse/req3", v.Requirement3(), wantW)
+		assertSameRat(t, "reuse/min", v.MinThroughput(), wantMin)
+		assertSameWitness(t, "reuse/req1", v.Requirement1(), checkRequirement1Naive(s, d))
+		assertSameRat(t, "reuse/avg", v.AvgThroughputBruteForce(), wantAvg)
+		assertSameReq2Witness(t, "reuse/req2", v.Requirement2(), want2)
+	}
+}
+
+// TestVerifierParallelMatchesSequential pins that the worker-pooled
+// checkers still return the sequential witnesses on the new kernels.
+func TestVerifierParallelMatchesSequential(t *testing.T) {
+	rng := stats.NewRNG(stats.DeriveSeed(13, 0))
+	for rep := 0; rep < 6; rep++ {
+		s := randomSchedule(rng, 10, 11, 0.25, 0.7)
+		for d := 1; d <= 3; d++ {
+			for _, workers := range []int{2, 5} {
+				ctx := fmt.Sprintf("rep=%d d=%d w=%d", rep, d, workers)
+				assertSameWitness(t, ctx+"/req3",
+					CheckRequirement3Parallel(s, d, workers), checkRequirement3Naive(s, d))
+				assertSameWitness(t, ctx+"/req1",
+					CheckRequirement1Parallel(s, d, workers), checkRequirement1Naive(s, d))
+				assertSameRat(t, ctx+"/min",
+					MinThroughputParallel(s, d, workers), minThroughputNaive(s, d))
+			}
+		}
+	}
+}
+
+// FuzzVerifierDifferential lets the fuzzer hunt for schedules where a
+// prefix-cached kernel and its naive reference disagree. (Run with
+// `go test -fuzz FuzzVerifierDifferential ./internal/core`; the seed
+// corpus runs in normal `go test`.)
+func FuzzVerifierDifferential(f *testing.F) {
+	f.Add(uint64(1), uint(6), uint(7), uint(2), uint(20), uint(80))
+	f.Add(uint64(2), uint(12), uint(9), uint(4), uint(50), uint(50))
+	f.Add(uint64(3), uint(2), uint(1), uint(1), uint(0), uint(0))
+	f.Add(uint64(4), uint(9), uint(70), uint(3), uint(10), uint(90)) // multi-word frame
+	f.Fuzz(func(t *testing.T, seed uint64, n, L, d, pT, pR uint) {
+		n = 2 + n%11 // [2, 12]
+		L = 1 + L%70 // [1, 70]: crosses the one-word boundary
+		d = 1 + d%4  // [1, 4]
+		if int(d) > int(n)-1 {
+			d = uint(n) - 1
+		}
+		rng := stats.NewRNG(seed)
+		s := randomSchedule(rng, int(n), int(L), float64(pT%101)/100, float64(pR%101)/100)
+		dd := int(d)
+		assertSameWitness(t, "fuzz/req1", CheckRequirement1(s, dd), checkRequirement1Naive(s, dd))
+		assertSameWitness(t, "fuzz/req3", CheckRequirement3(s, dd), checkRequirement3Naive(s, dd))
+		assertSameReq2Witness(t, "fuzz/req2", CheckRequirement2(s, dd), checkRequirement2Naive(s, dd))
+		assertSameRat(t, "fuzz/min", MinThroughput(s, dd), minThroughputNaive(s, dd))
+		if int(n) <= 9 {
+			assertSameRat(t, "fuzz/avg", AvgThroughputBruteForce(s, dd), avgThroughputBruteForceNaive(s, dd))
+		}
+	})
+}

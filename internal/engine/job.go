@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	ttdc "repro"
 	"repro/internal/schedcache"
@@ -41,19 +42,72 @@ type Metrics struct {
 	SimActiveFraction float64 `json:"simActiveFraction,omitempty"`
 }
 
+// metricsPool recycles Metrics between jobs: the engine serializes a job's
+// result into its journal record and then calls Release, so under a worker
+// pool each worker effectively reuses one Metrics for its whole job stream
+// instead of leaving one garbage struct per job.
+var metricsPool = sync.Pool{New: func() any { return new(Metrics) }}
+
+// Release returns m to the job-result pool. The engine calls it after the
+// record payload is serialized; callers holding a Metrics from a direct
+// ExecuteJob call simply never release it.
+func (m *Metrics) Release() {
+	*m = Metrics{}
+	metricsPool.Put(m)
+}
+
+// schedKey identifies the schedule a job needs. Jobs of one campaign that
+// agree on the key share one built schedule: schedules are immutable, pure
+// functions of these fields, and construction dominates small jobs.
+type schedKey struct {
+	construction   string
+	n, d           int
+	alphaT, alphaR int
+	strategy       string
+}
+
+// schedMemo shares schedule builds across the jobs of one campaign with
+// singleflight semantics: replications and topologies of the same grid
+// point pay for construction once, including for the constructions
+// (tdma, steiner, projective) the cross-campaign polynomial cache cannot
+// serve. Unlike schedcache.Cache it is unbounded, which is safe because a
+// campaign's distinct grid points are fixed at expansion time.
+type schedMemo struct {
+	mu sync.Mutex
+	m  map[schedKey]*schedEntry
+}
+
+type schedEntry struct {
+	once sync.Once
+	s    *ttdc.Schedule
+	err  error
+}
+
+func (sm *schedMemo) get(k schedKey, build func() (*ttdc.Schedule, error)) (*ttdc.Schedule, error) {
+	sm.mu.Lock()
+	e, ok := sm.m[k]
+	if !ok {
+		e = &schedEntry{}
+		sm.m[k] = e
+	}
+	sm.mu.Unlock()
+	e.once.Do(func() { e.s, e.err = build() })
+	return e.s, e.err
+}
+
 // Jobs expands the campaign and binds each spec to an executable engine
 // Job. Job i's seed is stats.DeriveSeed(c.Seed, i), so a job's result
 // depends only on the campaign seed and its own index — never on worker
-// count or completion order. cache, when non-nil, memoizes polynomial
-// schedule construction across jobs (replications and topologies of the
-// same grid point share one schedule build); other constructions build
-// directly.
+// count or completion order. cache, when non-nil, additionally memoizes
+// polynomial schedule construction across campaigns; within the campaign
+// every construction is shared through a per-campaign memo regardless.
 func Jobs(c *Campaign, cache *schedcache.Cache) ([]Job, error) {
 	specs, err := c.Expand()
 	if err != nil {
 		return nil, err
 	}
 	seed := c.Seed
+	memo := &schedMemo{m: make(map[schedKey]*schedEntry)}
 	jobs := make([]Job, len(specs))
 	for i, spec := range specs {
 		spec := spec
@@ -62,7 +116,7 @@ func Jobs(c *Campaign, cache *schedcache.Cache) ([]Job, error) {
 			ID:   spec.ID(),
 			Seed: jobSeed,
 			Run: func(ctx context.Context) (any, error) {
-				return ExecuteJob(ctx, spec, jobSeed, cache)
+				return executeJob(ctx, spec, jobSeed, cache, memo)
 			},
 		}
 	}
@@ -72,14 +126,20 @@ func Jobs(c *Campaign, cache *schedcache.Cache) ([]Job, error) {
 // ExecuteJob runs one grid point: build (or fetch) the schedule, build the
 // topology from the job seed, run the workload, and collect metrics.
 func ExecuteJob(ctx context.Context, spec JobSpec, seed uint64, cache *schedcache.Cache) (*Metrics, error) {
+	return executeJob(ctx, spec, seed, cache, nil)
+}
+
+func executeJob(ctx context.Context, spec JobSpec, seed uint64, cache *schedcache.Cache, memo *schedMemo) (*Metrics, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	s, err := buildSchedule(spec, cache)
+	s, err := buildSchedule(spec, cache, memo)
 	if err != nil {
 		return nil, err
 	}
-	m := &Metrics{L: s.L(), ActiveFraction: s.ActiveFraction()}
+	m := metricsPool.Get().(*Metrics)
+	m.L = s.L()
+	m.ActiveFraction = s.ActiveFraction()
 	if spec.Workload == "analysis" {
 		avg := ttdc.AvgThroughput(s, spec.D)
 		m.AvgThroughput = avg.RatString()
@@ -136,15 +196,30 @@ func ExecuteJob(ctx context.Context, spec JobSpec, seed uint64, cache *schedcach
 	return m, nil
 }
 
-// buildSchedule constructs the job's schedule. Polynomial bases go through
-// the shared cache when one is supplied — replications of the same grid
-// point then pay for construction once, with singleflight dedup under
-// concurrency.
-func buildSchedule(spec JobSpec, cache *schedcache.Cache) (*ttdc.Schedule, error) {
+// buildSchedule constructs the job's schedule. memo, when non-nil, shares
+// the build across the campaign's jobs; polynomial bases additionally go
+// through the cross-campaign cache when one is supplied. Both layers are
+// singleflight under concurrency.
+func buildSchedule(spec JobSpec, cache *schedcache.Cache, memo *schedMemo) (*ttdc.Schedule, error) {
 	strategy, err := schedcache.ParseStrategy(spec.Strategy)
 	if err != nil {
 		return nil, err
 	}
+	if memo != nil {
+		k := schedKey{
+			construction: spec.Construction,
+			n:            spec.N, d: spec.D,
+			alphaT: spec.AlphaT, alphaR: spec.AlphaR,
+			strategy: schedcache.StrategyName(strategy),
+		}
+		return memo.get(k, func() (*ttdc.Schedule, error) {
+			return buildScheduleDirect(spec, strategy, cache)
+		})
+	}
+	return buildScheduleDirect(spec, strategy, cache)
+}
+
+func buildScheduleDirect(spec JobSpec, strategy ttdc.DivisionStrategy, cache *schedcache.Cache) (*ttdc.Schedule, error) {
 	if spec.Construction == "polynomial" && cache != nil {
 		key := schedcache.Key{N: spec.N, D: spec.D, AlphaT: spec.AlphaT, AlphaR: spec.AlphaR, Strategy: strategy}
 		if err := key.Validate(); err != nil {
@@ -153,6 +228,7 @@ func buildSchedule(spec JobSpec, cache *schedcache.Cache) (*ttdc.Schedule, error
 		return cache.Get(key)
 	}
 	var base *ttdc.Schedule
+	var err error
 	switch spec.Construction {
 	case "tdma":
 		base, err = ttdc.TDMA(spec.N)

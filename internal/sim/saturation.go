@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/topology"
@@ -45,6 +46,36 @@ type SaturationResult struct {
 	ActiveFraction float64
 }
 
+// satScratch is the per-run working state of RunSaturation, pooled so a
+// campaign of many short runs (the engine's saturation grids) reuses one
+// set of buffers per worker instead of allocating ~2n² ints per job.
+type satScratch struct {
+	transmitting []bool
+	// counts[u*n+v] counts collision-free u→v deliveries.
+	counts []int
+	// lastDelivery[u*n+v] is the absolute slot of the last u→v delivery,
+	// or -1 before the first.
+	lastDelivery []int
+}
+
+var satPool = sync.Pool{New: func() any { return new(satScratch) }}
+
+// reset sizes the scratch for n nodes and clears it.
+func (sc *satScratch) reset(n int) {
+	if cap(sc.transmitting) < n {
+		sc.transmitting = make([]bool, n)
+		sc.counts = make([]int, n*n)
+		sc.lastDelivery = make([]int, n*n)
+	}
+	sc.transmitting = sc.transmitting[:n]
+	sc.counts = sc.counts[:n*n]
+	sc.lastDelivery = sc.lastDelivery[:n*n]
+	for i := range sc.counts {
+		sc.counts[i] = 0
+		sc.lastDelivery[i] = -1
+	}
+}
+
 // RunSaturation simulates the worst-case load: every node of g transmits a
 // (broadcast) packet in every slot the schedule lets it, and every eligible
 // receiver listens. A delivery u→v is recorded when v listens and u is the
@@ -60,23 +91,15 @@ func RunSaturation(g *topology.Graph, s *core.Schedule, frames int, em EnergyMod
 	}
 	n := g.N()
 	L := s.L()
-	delivered := make(map[int]map[int]int, n)
-	for u := 0; u < n; u++ {
-		delivered[u] = make(map[int]int)
-	}
 	res := &SaturationResult{
 		Frames:        frames,
 		SlotsPerFrame: L,
-		Delivered:     delivered,
 	}
+	sc := satPool.Get().(*satScratch)
+	defer satPool.Put(sc)
+	sc.reset(n)
+	transmitting, counts, lastDelivery := sc.transmitting, sc.counts, sc.lastDelivery
 	awake := 0
-	transmitting := make([]bool, n)
-	// lastDelivery[u*n+v] is the absolute slot of the last u→v delivery, or
-	// -1 before the first.
-	lastDelivery := make([]int, n*n)
-	for i := range lastDelivery {
-		lastDelivery[i] = -1
-	}
 	for f := 0; f < frames; f++ {
 		for i := 0; i < L; i++ {
 			abs := f*L + i
@@ -103,8 +126,8 @@ func RunSaturation(g *topology.Graph, s *core.Schedule, frames int, em EnergyMod
 				})
 				switch {
 				case count == 1:
-					delivered[sender][v]++
 					key := sender*n + v
+					counts[key]++
 					if last := lastDelivery[key]; last >= 0 {
 						if gap := abs - last - 1; gap > res.MaxInterDeliveryGap {
 							res.MaxInterDeliveryGap = gap
@@ -117,13 +140,26 @@ func RunSaturation(g *topology.Graph, s *core.Schedule, frames int, em EnergyMod
 			}
 		}
 	}
+	// Materialize the Delivered maps only now, from the flat counters:
+	// entries exist exactly for the pairs that delivered at least once,
+	// the same shape the per-delivery map writes used to produce.
+	delivered := make(map[int]map[int]int, n)
+	for u := 0; u < n; u++ {
+		delivered[u] = make(map[int]int)
+		for v := 0; v < n; v++ {
+			if c := counts[u*n+v]; c > 0 {
+				delivered[u][v] = c
+			}
+		}
+	}
+	res.Delivered = delivered
 	totalLinks := 0
 	totalDeliveries := 0
 	minPerFrame := -1.0
 	for u := 0; u < n; u++ {
 		for _, v := range g.Neighbors(u) {
 			totalLinks++
-			d := delivered[u][v]
+			d := counts[u*n+v]
 			totalDeliveries += d
 			perFrame := float64(d) / float64(frames)
 			if minPerFrame < 0 || perFrame < minPerFrame {

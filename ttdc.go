@@ -68,6 +68,10 @@ const (
 // package core.
 type ConstructOptions = core.ConstructOptions
 
+// DivisionStrategy selects how Construct splits transmitter sets; see the
+// constants below.
+type DivisionStrategy = core.DivisionStrategy
+
 // Division strategies for Construct.
 const (
 	Sequential = core.Sequential
