@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build lint test race fuzz bench benchall serve
+.PHONY: check vet build lint lint-sarif test race race-conc fuzz bench benchall serve
 
-check: vet build lint test race
+check: vet build lint test race race-conc
 
 vet:
 	$(GO) vet ./...
@@ -14,13 +14,21 @@ vet:
 build:
 	$(GO) build ./...
 
-# The domain linter (see internal/lint): reproducibility and
-# exact-arithmetic invariants, plus gofmt cleanliness over the whole tree
-# (including testdata fixtures, which plain `go fmt ./...` skips).
+# The domain linter (see internal/lint): reproducibility,
+# exact-arithmetic, and concurrency invariants, plus gofmt cleanliness
+# over the whole tree (including testdata fixtures, which plain
+# `go fmt ./...` skips). The baseline is the ratchet: it ships empty and
+# absorbs nothing today; accepted debt would be recorded there with
+# `-write-baseline`, and entries that no longer match fail the run so
+# fixed findings cannot linger in the file.
 lint:
-	$(GO) run ./cmd/ttdclint ./...
+	$(GO) run ./cmd/ttdclint -baseline lint-baseline.json ./...
 	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+
+# SARIF 2.1.0 report for code-scanning UIs (upload lint.sarif).
+lint-sarif:
+	$(GO) run ./cmd/ttdclint -baseline lint-baseline.json -sarif lint.sarif ./...
 
 test:
 	$(GO) test ./...
@@ -29,6 +37,13 @@ test:
 # by default rather than opt-in.
 race:
 	$(GO) test -race ./...
+
+# The two subsystems whose concurrency the flow-aware analyzers model get
+# a named race gate of their own: `race` already covers them, but this
+# target keeps them explicit in `make check` output and gives a fast
+# local loop (`make race-conc`) when touching engine or cache internals.
+race-conc:
+	$(GO) test -race ./internal/engine ./internal/schedcache
 
 # Short smoke runs of every fuzz target (seeds always run under plain
 # `go test`; this explores a little beyond them).

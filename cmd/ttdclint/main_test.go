@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -17,55 +19,200 @@ func TestRunCleanTree(t *testing.T) {
 	}
 }
 
+// badAnalyzers is one expected message fragment per analyzer that must
+// fire on the dirty fixture tree — each flow-aware analyzer has at least
+// one bad-fixture finding here.
+var badAnalyzers = map[string]string{
+	"ratcompare": "*big.Rat compared with ==",
+	"maporder":   "fmt.Println call inside range over map",
+	"ratfloat":   "lossy Rat.Float64",
+	"poolput":    "can reach a return with no Put",
+	"ctxcancel":  "discarded",
+	"waitpair":   "no WaitGroup or channel join",
+	"atomicmix":  "accessed atomically",
+	"mutexcopy":  "copies guarded",
+	"walltime":   "reads the wall clock",
+}
+
 func TestRunFindings(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"testdata/bad"}, &out, &errb); code != 1 {
 		t.Fatalf("exit = %d, want 1; stderr=%q", code, errb.String())
 	}
 	got := out.String()
-	for _, want := range []string{
-		"ratcompare: *big.Rat compared with ==",
-		"maporder: fmt.Println call inside range over map",
-		"ratfloat: lossy Rat.Float64",
-	} {
-		if !strings.Contains(got, want) {
-			t.Errorf("output missing %q:\n%s", want, got)
+	for analyzer, fragment := range badAnalyzers {
+		if !strings.Contains(got, analyzer+": ") || !strings.Contains(got, fragment) {
+			t.Errorf("output missing %s finding (%q):\n%s", analyzer, fragment, got)
 		}
 	}
 	lines := strings.Split(strings.TrimSpace(got), "\n")
-	if len(lines) != 3 {
-		t.Fatalf("findings = %d, want 3:\n%s", len(lines), got)
+	if len(lines) != len(badAnalyzers) {
+		t.Fatalf("findings = %d, want %d:\n%s", len(lines), len(badAnalyzers), got)
 	}
 	for _, line := range lines {
-		if !strings.HasPrefix(line, "testdata/bad/bad.go:") {
+		if !strings.HasPrefix(line, "testdata/bad/") {
 			t.Errorf("diagnostic not in file:line form: %q", line)
 		}
 	}
 }
 
-func TestRunJSON(t *testing.T) {
+func TestRunJSONReport(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-json", "testdata/bad"}, &out, &errb); code != 1 {
 		t.Fatalf("exit = %d, want 1; stderr=%q", code, errb.String())
 	}
-	var diags []jsonDiagnostic
-	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+	var report jsonReport
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
 		t.Fatalf("-json output does not parse: %v\n%s", err, out.String())
 	}
-	if len(diags) != 3 {
-		t.Fatalf("json findings = %d, want 3", len(diags))
+	if len(report.Findings) != len(badAnalyzers) {
+		t.Fatalf("json findings = %d, want %d", len(report.Findings), len(badAnalyzers))
 	}
-	analyzers := map[string]bool{}
-	for _, d := range diags {
-		if d.File != "testdata/bad/bad.go" || d.Line <= 0 || d.Col <= 0 || d.Message == "" {
+	if report.Suppressed != 0 || report.Baselined != 0 || len(report.StaleBaseline) != 0 {
+		t.Errorf("unexpected counts: %+v", report)
+	}
+	for _, d := range report.Findings {
+		if !strings.HasPrefix(d.File, "testdata/bad/") || d.Line <= 0 || d.Col <= 0 || d.Message == "" {
 			t.Errorf("incomplete diagnostic %+v", d)
 		}
-		analyzers[d.Analyzer] = true
 	}
-	for _, a := range []string{"ratcompare", "maporder", "ratfloat"} {
-		if !analyzers[a] {
-			t.Errorf("missing %s finding in JSON output", a)
+	for analyzer := range badAnalyzers {
+		if report.PerAnalyzer[analyzer] != 1 {
+			t.Errorf("perAnalyzer[%s] = %d, want 1", analyzer, report.PerAnalyzer[analyzer])
 		}
+	}
+}
+
+// TestRunJSONSuppressedCount pins the suppression accounting: the good
+// tree's injected-clock //lint:ignore shows up in the report, not as a
+// finding.
+func TestRunJSONSuppressedCount(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "testdata/good"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr=%q", code, errb.String())
+	}
+	var report jsonReport
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Findings) != 0 {
+		t.Fatalf("clean tree has findings: %+v", report.Findings)
+	}
+	if report.Suppressed != 1 {
+		t.Fatalf("suppressed = %d, want 1 (the walltime injection point)", report.Suppressed)
+	}
+}
+
+func TestRunBaselineWorkflow(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+
+	// Step 1: record the current debt.
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", baseline, "-write-baseline", "testdata/bad"}, &out, &errb); code != 0 {
+		t.Fatalf("write-baseline exit = %d; stderr=%q", code, errb.String())
+	}
+
+	// Step 2: with the baseline applied the dirty tree is green, and the
+	// report accounts for every absorbed finding.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-json", "-baseline", baseline, "testdata/bad"}, &out, &errb); code != 0 {
+		t.Fatalf("baselined run exit = %d; stderr=%q stdout=%q", code, errb.String(), out.String())
+	}
+	var report jsonReport
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Baselined != len(badAnalyzers) || len(report.Findings) != 0 {
+		t.Fatalf("baselined = %d findings = %d, want %d and 0", report.Baselined, len(report.Findings), len(badAnalyzers))
+	}
+
+	// Step 3: an entry that matches nothing is stale and fails the run.
+	var bl baselineFile
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &bl); err != nil {
+		t.Fatal(err)
+	}
+	bl.Findings = append(bl.Findings, baselineEntry{
+		File: "testdata/bad/conc.go", Analyzer: "poolput", Message: "finding that was fixed long ago",
+	})
+	data, err = json.MarshalIndent(bl, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", baseline, "testdata/bad"}, &out, &errb); code != 1 {
+		t.Fatalf("stale baseline exit = %d, want 1; stderr=%q", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "stale baseline entry") {
+		t.Fatalf("stderr missing stale-entry report: %q", errb.String())
+	}
+}
+
+func TestRunSARIF(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-sarif", "-", "testdata/bad"}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr=%q", code, errb.String())
+	}
+	var log sarifLog
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output does not parse: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected log shape: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run0 := log.Runs[0]
+	if run0.Tool.Driver.Name != "ttdclint" {
+		t.Fatalf("driver name = %q", run0.Tool.Driver.Name)
+	}
+	// Eleven analyzers plus the "ignore" pseudo-rule.
+	if len(run0.Tool.Driver.Rules) != 12 {
+		t.Fatalf("rules = %d, want 12", len(run0.Tool.Driver.Rules))
+	}
+	if len(run0.Results) != len(badAnalyzers) {
+		t.Fatalf("results = %d, want %d", len(run0.Results), len(badAnalyzers))
+	}
+	for _, r := range run0.Results {
+		loc := r.Locations[0].PhysicalLocation
+		if !strings.HasPrefix(loc.ArtifactLocation.URI, "testdata/bad/") || loc.Region.StartLine <= 0 {
+			t.Errorf("bad location %+v", loc)
+		}
+	}
+}
+
+func TestRunEnableDisable(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-enable", "ratcompare", "testdata/bad"}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr=%q", code, errb.String())
+	}
+	if lines := strings.Split(strings.TrimSpace(out.String()), "\n"); len(lines) != 1 || !strings.Contains(lines[0], "ratcompare") {
+		t.Fatalf("-enable ratcompare output:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-disable", "ratcompare,maporder,ratfloat", "testdata/bad"}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr=%q", code, errb.String())
+	}
+	got := out.String()
+	if strings.Contains(got, "ratcompare") || len(strings.Split(strings.TrimSpace(got), "\n")) != 6 {
+		t.Fatalf("-disable output:\n%s", got)
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-enable", "nosuch", "testdata/bad"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown analyzer exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Fatalf("stderr missing unknown-analyzer error: %q", errb.String())
 	}
 }
 

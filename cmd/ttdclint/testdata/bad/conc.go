@@ -1,0 +1,66 @@
+// Concurrency half of the dirty fixture tree: exactly one finding per
+// flow-aware analyzer — poolput, ctxcancel, waitpair, atomicmix,
+// mutexcopy, and walltime — in that order of appearance.
+package bad
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type scratch struct{ sums []uint64 }
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+// LeakyScratch drops the pooled object on the early-return path.
+func LeakyScratch(skip bool) int {
+	s := pool.Get().(*scratch)
+	if skip {
+		return 0
+	}
+	n := len(s.sums)
+	pool.Put(s)
+	return n
+}
+
+// DetachedContext throws the cancel func away.
+func DetachedContext(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent)
+	return ctx
+}
+
+// FireAndForget spawns a goroutine nothing can join.
+func FireAndForget() {
+	go step()
+}
+
+func step() {}
+
+var ops int64
+
+// CountOp writes atomically.
+func CountOp() {
+	atomic.AddInt64(&ops, 1)
+}
+
+// ReadOps reads the same counter with a plain load.
+func ReadOps() int64 {
+	return ops
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// SnapshotGuarded copies the mutex along with the data.
+func SnapshotGuarded(g guarded) int {
+	return g.n
+}
+
+// Stamp reads the wall clock in a package held to the determinism rules.
+func Stamp() time.Time {
+	return time.Now()
+}

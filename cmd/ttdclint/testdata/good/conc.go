@@ -1,0 +1,83 @@
+// Concurrency half of the clean fixture tree: the sanctioned idiom for
+// each flow-aware analyzer — deferred Put, deferred cancel, WaitGroup
+// pairing, all-atomic access, pointer passing, and an injected clock
+// whose single wall-clock reference carries a justified suppression.
+package good
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type scratch struct{ sums []uint64 }
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+// SumLen releases the scratch on every path via defer.
+func SumLen(skip bool) int {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	if skip {
+		return 0
+	}
+	return len(s.sums)
+}
+
+// WithDeadline covers every path with a deferred cancel.
+func WithDeadline(parent context.Context) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	defer cancel()
+	return ctx.Err()
+}
+
+// RunAll joins every worker through the WaitGroup.
+func RunAll(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			step()
+		}()
+	}
+	wg.Wait()
+}
+
+func step() {}
+
+var ops int64
+
+// CountOp and ReadOps agree on atomic access.
+func CountOp() {
+	atomic.AddInt64(&ops, 1)
+}
+
+// ReadOps loads through sync/atomic like every other access.
+func ReadOps() int64 {
+	return atomic.LoadInt64(&ops)
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bump shares the lock through a pointer.
+func Bump(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+// clock is the injected time source: the one sanctioned wall-clock
+// reference, suppressed with a written reason.
+//
+//lint:ignore walltime single injection point; deterministic callers swap it for a fake
+var clock = time.Now
+
+// Stamp reads through the injected clock.
+func Stamp() time.Time {
+	return clock()
+}

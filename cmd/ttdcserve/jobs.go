@@ -107,6 +107,7 @@ func (a *jobsAPI) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	a.order = append(a.order, run.id)
 	a.mu.Unlock()
 
+	//lint:ignore waitpair intentionally detached: the run's lifecycle is observed through run.state under run.mu, and maxStoredRuns bounds how many can exist
 	go func() {
 		rep, err := run.eng.Run(context.Background(), jobs)
 		run.mu.Lock()

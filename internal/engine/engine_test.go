@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // testCampaign is small enough to run in milliseconds but crosses several
@@ -319,5 +320,34 @@ func TestStatsSnapshot(t *testing.T) {
 	}
 	if s.Line() == "" {
 		t.Fatal("empty progress line")
+	}
+}
+
+// TestInjectedClock pins the clock seam: every timing figure in Report
+// and Snapshot flows through Engine.now, so a fake clock that advances
+// one second per reading makes progress timing exactly predictable.
+func TestInjectedClock(t *testing.T) {
+	jobs := []Job{{ID: "one", Run: func(context.Context) (any, error) { return 1, nil }}}
+	e := New(Options{Workers: 1})
+	base := time.Unix(1_700_000_000, 0)
+	var ticks int64
+	e.now = func() time.Time {
+		return base.Add(time.Duration(atomic.AddInt64(&ticks, 1)) * time.Second)
+	}
+	rep, err := e.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run reads the clock twice: once at start, once for Report.Elapsed.
+	if rep.Elapsed != time.Second {
+		t.Fatalf("Elapsed = %v, want 1s", rep.Elapsed)
+	}
+	// Stats takes the third reading, two fake seconds after start.
+	s := e.Stats()
+	if s.ElapsedSeconds != 2 {
+		t.Fatalf("ElapsedSeconds = %v, want 2", s.ElapsedSeconds)
+	}
+	if s.JobsPerSec != 0.5 {
+		t.Fatalf("JobsPerSec = %v, want 0.5 (1 job / 2s)", s.JobsPerSec)
 	}
 }

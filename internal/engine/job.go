@@ -148,6 +148,7 @@ func executeJob(ctx context.Context, spec JobSpec, seed uint64, cache *schedcach
 	}
 	g, err := buildTopology(spec, seed)
 	if err != nil {
+		m.Release()
 		return nil, err
 	}
 	m.Nodes = g.N()
@@ -156,6 +157,7 @@ func executeJob(ctx context.Context, spec JobSpec, seed uint64, cache *schedcach
 	case "saturation":
 		res, err := ttdc.RunSaturation(g, s, spec.Frames, ttdc.DefaultEnergy())
 		if err != nil {
+			m.Release()
 			return nil, err
 		}
 		m.MinLinkThroughput = res.MinLinkThroughput
@@ -168,6 +170,7 @@ func executeJob(ctx context.Context, spec JobSpec, seed uint64, cache *schedcach
 			Sink: spec.Sink, Rate: spec.Rate, Frames: spec.Frames, Seed: seed,
 		})
 		if err != nil {
+			m.Release()
 			return nil, err
 		}
 		m.Generated = res.Generated
@@ -183,6 +186,7 @@ func executeJob(ctx context.Context, spec JobSpec, seed uint64, cache *schedcach
 			Source: spec.Sink, MaxFrames: spec.Frames, Seed: seed,
 		})
 		if err != nil {
+			m.Release()
 			return nil, err
 		}
 		m.Covered = res.Covered
@@ -191,6 +195,7 @@ func executeJob(ctx context.Context, spec JobSpec, seed uint64, cache *schedcach
 		m.TotalEnergy = res.TotalEnergy
 		m.SimActiveFraction = res.ActiveFraction
 	default:
+		m.Release()
 		return nil, fmt.Errorf("engine: unknown workload %q", spec.Workload)
 	}
 	return m, nil

@@ -38,7 +38,7 @@ func (e *Engine) Stats() Snapshot {
 	}
 	s.Done = s.Completed + s.Failed + s.Skipped
 	if start := e.startNS.Load(); start > 0 {
-		s.ElapsedSeconds = time.Since(time.Unix(0, start)).Seconds()
+		s.ElapsedSeconds = e.now().Sub(time.Unix(0, start)).Seconds()
 		if s.ElapsedSeconds > 0 {
 			s.JobsPerSec = float64(s.Completed+s.Failed) / s.ElapsedSeconds
 		}

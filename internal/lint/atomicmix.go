@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// AtomicMix guards the memory discipline of shared counters: a variable
+// (or struct field) accessed through sync/atomic in one place and with a
+// plain load or store in another has no consistent happens-before story —
+// the plain access races with the atomic one, and the race detector only
+// catches it when both sides actually collide during a test run. The
+// modern fix is an atomic.Int64-style typed atomic, which makes mixed
+// access impossible; until then, every access must go through sync/atomic.
+//
+// The analyzer records every `&x` or `&s.f` passed as the first argument
+// of a sync/atomic function (Load*, Store*, Add*, Swap*, CompareAndSwap*)
+// and reports every other syntactic access to the same variable or field
+// in the package.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a variable accessed via sync/atomic must never also be accessed with plain loads/stores",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pkg *Package) []Diagnostic {
+	// Pass 1: variables addressed into sync/atomic calls, plus the exact
+	// operand nodes of those calls (excluded from pass 2).
+	atomicAt := map[types.Object]token.Position{}
+	inAtomicCall := map[ast.Node]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := funcObj(pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			operand := ast.Unparen(un.X)
+			obj := exprVar(pkg, operand)
+			if obj == nil {
+				return true
+			}
+			inAtomicCall[operand] = true
+			if _, seen := atomicAt[obj]; !seen {
+				atomicAt[obj] = pkg.Fset.Position(un.Pos())
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access to those variables is a mixed access.
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var expr ast.Expr
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				expr = n
+			case *ast.Ident:
+				expr = n
+			default:
+				return true
+			}
+			if inAtomicCall[expr] {
+				return false // the sanctioned &x of an atomic call
+			}
+			obj := exprVar(pkg, expr)
+			if obj == nil {
+				return true
+			}
+			first, mixed := atomicAt[obj]
+			if !mixed {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(expr.Pos()),
+				Analyzer: "atomicmix",
+				Message: fmt.Sprintf("%s is accessed atomically at %s:%d but with a plain load/store here; use sync/atomic everywhere or an atomic.Int64-style typed atomic",
+					obj.Name(), filepath.Base(first.Filename), first.Line),
+			})
+			return false // don't re-report the Sel/X of this selector
+		})
+	}
+	return diags
+}
+
+// exprVar resolves a plain variable access (Ident or SelectorExpr ending
+// in a field/var) to its object, or nil when expr is not a variable.
+func exprVar(pkg *Package, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := pkg.Info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// CtxCancel guards against leaked context cancel functions. Every
+// context.WithCancel / WithTimeout / WithDeadline (and their Cause
+// variants) returns a cancel func that must eventually run, or the parent
+// context accumulates children until it is itself cancelled — in a
+// long-lived server (ttdcserve) that is an unbounded leak. It reports
+//
+//   - a cancel func assigned to the blank identifier (it can never run);
+//   - a cancel func that some path to the function exit neither calls,
+//     defers, returns to the caller, nor hands to another function.
+//
+// `defer cancel()` right after the constructor covers every path at once
+// and is the sanctioned idiom.
+var CtxCancel = &Analyzer{
+	Name: "ctxcancel",
+	Doc:  "context cancel funcs must be called, deferred, or handed off on every path",
+	Run:  runCtxCancel,
+}
+
+// cancelCtors are the context constructors whose second result is a
+// CancelFunc (or CancelCauseFunc).
+var cancelCtors = map[string]bool{
+	"WithCancel": true, "WithTimeout": true, "WithDeadline": true,
+	"WithCancelCause": true, "WithTimeoutCause": true, "WithDeadlineCause": true,
+}
+
+func runCtxCancel(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		funcBodies(f, func(body *ast.BlockStmt) {
+			diags = append(diags, ctxCancelBody(pkg, body)...)
+		})
+	}
+	return diags
+}
+
+func ctxCancelBody(pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	type site struct {
+		stmt ast.Stmt
+		name string
+		obj  types.Object // nil when the cancel func was discarded
+	}
+	var sites []site
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcObj(pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" || !cancelCtors[fn.Name()] {
+			return true
+		}
+		s := site{stmt: as, name: fn.Name()}
+		if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+			s.obj = pkg.Info.Defs[id]
+			if s.obj == nil {
+				s.obj = pkg.Info.Uses[id]
+			}
+		}
+		sites = append(sites, s)
+		return true
+	})
+	if len(sites) == 0 {
+		return nil
+	}
+
+	g := BuildFlow(body)
+	var diags []Diagnostic
+	for _, s := range sites {
+		if s.obj == nil {
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(s.stmt.Pos()),
+				Analyzer: "ctxcancel",
+				Message:  fmt.Sprintf("cancel func from context.%s discarded; it must run or the parent context leaks the child forever", s.name),
+			})
+			continue
+		}
+		// A deferred use (defer cancel(), or a deferred closure touching
+		// it) covers every path.
+		covered := false
+		for _, d := range g.Defers {
+			if usesObject(pkg, d, s.obj) {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		// Otherwise every path must call it or hand it off: any statement
+		// mentioning the cancel func counts (a call, a return, storing it
+		// into a struct, passing it along).
+		obj := s.obj
+		uses := func(st ast.Stmt) bool { return st != nil && usesObjectAt(pkg, st, obj) }
+		if g.PathAvoiding(g.NodeFor(s.stmt), uses) {
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(s.stmt.Pos()),
+				Analyzer: "ctxcancel",
+				Message:  fmt.Sprintf("cancel func from context.%s can leak on an early return; defer cancel() (or call/hand it off on every path)", s.name),
+			})
+		}
+	}
+	return diags
+}

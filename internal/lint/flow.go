@@ -1,0 +1,464 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the flow-aware half of the analyzer toolkit: a small
+// intra-procedural control-flow graph built from syntax alone, precise
+// enough to answer the two questions the concurrency analyzers ask —
+//
+//   - "is there a path from this statement to the function exit that
+//     avoids every statement satisfying P?" (poolput: a return path with
+//     no Pool.Put; ctxcancel: an early return that never calls cancel)
+//   - "which statements are reachable after this one?" (poolput: uses of
+//     a pooled object after it was returned to the pool)
+//
+// The graph has one node per statement. if/for/range/switch/type-switch/
+// select/labeled/goto/break/continue/fallthrough are modeled with their
+// real successor structure; defer is recorded in source order as a plain
+// node and additionally collected into Defers, because deferred calls run
+// on every exit path and analyzers treat them as path-insensitive.
+// Function literals are opaque: statements inside a FuncLit belong to the
+// literal's own graph, not the enclosing one.
+
+// FlowNode is one statement of a FlowGraph. The synthetic Entry and Exit
+// nodes have a nil Stmt.
+type FlowNode struct {
+	Stmt  ast.Stmt
+	Succs []*FlowNode
+}
+
+// FlowGraph is the control-flow graph of one function body.
+type FlowGraph struct {
+	// Entry and Exit are synthetic: Entry precedes the first statement,
+	// Exit is reached by every return and by falling off the end.
+	Entry *FlowNode
+	Exit  *FlowNode
+	// Nodes lists the statement nodes in creation (source) order.
+	Nodes []*FlowNode
+	// Defers collects every defer statement of the body (at any depth of
+	// the statement tree, excluding nested function literals).
+	Defers []*ast.DeferStmt
+
+	byStmt map[ast.Stmt]*FlowNode
+}
+
+// BuildFlow constructs the control-flow graph of body.
+func BuildFlow(body *ast.BlockStmt) *FlowGraph {
+	g := &FlowGraph{
+		Entry:  &FlowNode{},
+		Exit:   &FlowNode{},
+		byStmt: map[ast.Stmt]*FlowNode{},
+	}
+	b := &flowBuilder{g: g, labels: map[string]*FlowNode{}}
+	out := b.list(body.List, []*FlowNode{g.Entry})
+	b.connect(out, g.Exit)
+	for _, pg := range b.gotos {
+		if target, ok := b.labels[pg.label]; ok {
+			pg.node.Succs = append(pg.node.Succs, target)
+		}
+	}
+	return g
+}
+
+// NodeFor returns the graph node of stmt, or nil for statements outside
+// the body (including statements inside nested function literals).
+func (g *FlowGraph) NodeFor(stmt ast.Stmt) *FlowNode { return g.byStmt[stmt] }
+
+// PathAvoiding reports whether some path from `from` (exclusive — the
+// starting statement itself is not tested) to Exit visits no node whose
+// statement satisfies avoid. This is the "can the function return without
+// ever doing X after this point" query.
+func (g *FlowGraph) PathAvoiding(from *FlowNode, avoid func(ast.Stmt) bool) bool {
+	if from == nil {
+		return false
+	}
+	seen := map[*FlowNode]bool{}
+	var dfs func(n *FlowNode) bool
+	dfs = func(n *FlowNode) bool {
+		for _, s := range n.Succs {
+			if s == g.Exit {
+				return true
+			}
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			if avoid(s.Stmt) {
+				continue
+			}
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(from)
+}
+
+// Reachable returns the set of statement nodes reachable from `from`
+// through one or more edges (the start node is included only when a cycle
+// leads back to it). Entry and Exit are never in the result.
+func (g *FlowGraph) Reachable(from *FlowNode) map[*FlowNode]bool {
+	out := map[*FlowNode]bool{}
+	if from == nil {
+		return out
+	}
+	var dfs func(n *FlowNode)
+	dfs = func(n *FlowNode) {
+		for _, s := range n.Succs {
+			if s == g.Exit || out[s] {
+				continue
+			}
+			out[s] = true
+			dfs(s)
+		}
+	}
+	dfs(from)
+	return out
+}
+
+// flowBuilder carries the in-progress graph plus the label / break /
+// continue context of the statement being translated.
+type flowBuilder struct {
+	g      *FlowGraph
+	labels map[string]*FlowNode // label name -> label node (goto target)
+	breaks []*breakScope
+	conts  []*contScope
+	gotos  []pendingGoto
+	// curLabel is the label immediately wrapping the next statement, so
+	// `L: for ...` registers L as a break/continue target of that loop.
+	curLabel string
+}
+
+type breakScope struct {
+	label string
+	out   []*FlowNode // break nodes waiting to join the statement's frontier
+}
+
+type contScope struct {
+	label string
+	head  *FlowNode
+}
+
+type pendingGoto struct {
+	node  *FlowNode
+	label string
+}
+
+func (b *flowBuilder) newNode(s ast.Stmt) *FlowNode {
+	n := &FlowNode{Stmt: s}
+	b.g.Nodes = append(b.g.Nodes, n)
+	b.g.byStmt[s] = n
+	return n
+}
+
+func (b *flowBuilder) connect(preds []*FlowNode, n *FlowNode) {
+	for _, p := range preds {
+		p.Succs = append(p.Succs, n)
+	}
+}
+
+// list translates a statement sequence, threading the frontier (the set of
+// nodes whose control falls through to the next statement).
+func (b *flowBuilder) list(stmts []ast.Stmt, preds []*FlowNode) []*FlowNode {
+	for _, s := range stmts {
+		preds = b.stmt(s, preds)
+	}
+	return preds
+}
+
+// stmt translates one statement and returns its fall-through frontier
+// (empty for statements that never fall through: return, break, continue,
+// goto, terminal calls).
+func (b *flowBuilder) stmt(s ast.Stmt, preds []*FlowNode) []*FlowNode {
+	label := b.curLabel
+	b.curLabel = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.list(s.List, preds)
+
+	case *ast.LabeledStmt:
+		ln := b.newNode(s)
+		b.connect(preds, ln)
+		b.labels[s.Label.Name] = ln
+		b.curLabel = s.Label.Name
+		return b.stmt(s.Stmt, []*FlowNode{ln})
+
+	case *ast.IfStmt:
+		n := b.newNode(s) // covers init and cond
+		b.connect(preds, n)
+		out := b.list(s.Body.List, []*FlowNode{n})
+		if s.Else != nil {
+			out = append(out, b.stmt(s.Else, []*FlowNode{n})...)
+		} else {
+			out = append(out, n)
+		}
+		return out
+
+	case *ast.ForStmt:
+		head := b.newNode(s) // covers init, cond, and post
+		b.connect(preds, head)
+		bs := &breakScope{label: label}
+		b.breaks = append(b.breaks, bs)
+		b.conts = append(b.conts, &contScope{label: label, head: head})
+		bodyOut := b.list(s.Body.List, []*FlowNode{head})
+		b.connect(bodyOut, head)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+		out := bs.out
+		if s.Cond != nil {
+			out = append(out, head) // `for {}` only exits via break
+		}
+		return out
+
+	case *ast.RangeStmt:
+		head := b.newNode(s)
+		b.connect(preds, head)
+		bs := &breakScope{label: label}
+		b.breaks = append(b.breaks, bs)
+		b.conts = append(b.conts, &contScope{label: label, head: head})
+		bodyOut := b.list(s.Body.List, []*FlowNode{head})
+		b.connect(bodyOut, head)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+		return append(bs.out, head) // a range always terminates
+
+	case *ast.SwitchStmt:
+		return b.switchLike(s, s.Body.List, preds, label, true)
+	case *ast.TypeSwitchStmt:
+		return b.switchLike(s, s.Body.List, preds, label, true)
+	case *ast.SelectStmt:
+		// A select with no default blocks until some case proceeds, so —
+		// unlike a switch — control cannot skip past all clauses.
+		return b.switchLike(s, s.Body.List, preds, label, false)
+
+	case *ast.ReturnStmt:
+		n := b.newNode(s)
+		b.connect(preds, n)
+		n.Succs = append(n.Succs, b.g.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		n := b.newNode(s)
+		b.connect(preds, n)
+		switch s.Tok {
+		case token.BREAK:
+			if bs := b.findBreak(s.Label); bs != nil {
+				bs.out = append(bs.out, n)
+			}
+			return nil
+		case token.CONTINUE:
+			if cs := b.findCont(s.Label); cs != nil {
+				n.Succs = append(n.Succs, cs.head)
+			}
+			return nil
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{node: n, label: s.Label.Name})
+			return nil
+		default: // FALLTHROUGH: switchLike routes the frontier to the next clause
+			return []*FlowNode{n}
+		}
+
+	case *ast.DeferStmt:
+		n := b.newNode(s)
+		b.connect(preds, n)
+		b.g.Defers = append(b.g.Defers, s)
+		return []*FlowNode{n}
+
+	case *ast.ExprStmt:
+		n := b.newNode(s)
+		b.connect(preds, n)
+		if isTerminalCall(s.X) {
+			return nil // panic/os.Exit: this path never reaches Exit
+		}
+		return []*FlowNode{n}
+
+	default: // assign, decl, send, incdec, go, empty, ...
+		n := b.newNode(s)
+		b.connect(preds, n)
+		return []*FlowNode{n}
+	}
+}
+
+// switchLike translates switch, type switch, and select bodies: every
+// clause starts from the head; fallthrough feeds the next clause;
+// canSkip adds the head itself to the frontier when no default exists
+// (switches without a default may execute no clause at all).
+func (b *flowBuilder) switchLike(s ast.Stmt, clauses []ast.Stmt, preds []*FlowNode, label string, canSkip bool) []*FlowNode {
+	head := b.newNode(s)
+	b.connect(preds, head)
+	bs := &breakScope{label: label}
+	b.breaks = append(b.breaks, bs)
+	var out, fall []*FlowNode
+	hasDefault := false
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			body = c.Body
+			hasDefault = hasDefault || c.List == nil
+		case *ast.CommClause:
+			body = c.Body
+			hasDefault = hasDefault || c.Comm == nil
+		}
+		clausePreds := append([]*FlowNode{head}, fall...)
+		fall = nil
+		fellThrough := false
+		if len(body) > 0 {
+			if br, ok := body[len(body)-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fellThrough = true
+			}
+		}
+		f := b.list(body, clausePreds)
+		if fellThrough {
+			fall = f
+		} else {
+			out = append(out, f...)
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	out = append(out, bs.out...)
+	out = append(out, fall...) // tolerate a trailing fallthrough
+	if canSkip && !hasDefault {
+		out = append(out, head)
+	}
+	return out
+}
+
+// findBreak resolves a break statement (optionally labeled) to its scope.
+func (b *flowBuilder) findBreak(label *ast.Ident) *breakScope {
+	for i := len(b.breaks) - 1; i >= 0; i-- {
+		if label == nil || b.breaks[i].label == label.Name {
+			return b.breaks[i]
+		}
+	}
+	return nil
+}
+
+// findCont resolves a continue statement (optionally labeled) to its loop.
+func (b *flowBuilder) findCont(label *ast.Ident) *contScope {
+	for i := len(b.conts) - 1; i >= 0; i-- {
+		if label == nil || b.conts[i].label == label.Name {
+			return b.conts[i]
+		}
+	}
+	return nil
+}
+
+// terminalNames are selector names whose call ends the goroutine: control
+// never falls through to the next statement.
+var terminalNames = map[string]bool{
+	"Exit": true, "Goexit": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true, "FailNow": true,
+}
+
+// isTerminalCall reports (syntactically) whether expr is a call that never
+// returns: panic(...) or a selector call named like os.Exit / log.Fatalf /
+// runtime.Goexit / (*testing.T).FailNow.
+func isTerminalCall(expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		return terminalNames[fun.Sel.Name]
+	}
+	return false
+}
+
+// --- shared syntactic helpers for the flow analyzers ---
+
+// usesObject reports whether any identifier inside n resolves to obj
+// (through Uses; the defining identifier itself does not count).
+func usesObject(pkg *Package, n ast.Node, obj types.Object) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok {
+			if o := pkg.Info.Uses[id]; o != nil && o == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// ShallowParts returns the pieces of s that execute at its own CFG node.
+// Compound statements (if/for/range/switch) are represented in the graph
+// by a head node covering only their init/cond/tag expressions — the
+// nested bodies are separate nodes — so path predicates must not inspect
+// the whole subtree or an `if` would absorb properties of its branches.
+// Leaf statements return themselves; pure-structure nodes (select,
+// labeled) return nothing.
+func ShallowParts(s ast.Stmt) []ast.Node {
+	switch s := s.(type) {
+	case nil:
+		return nil
+	case *ast.IfStmt:
+		return nodeParts(s.Init, s.Cond)
+	case *ast.ForStmt:
+		return nodeParts(s.Init, s.Cond, s.Post)
+	case *ast.RangeStmt:
+		return nodeParts(s.Key, s.Value, s.X)
+	case *ast.SwitchStmt:
+		return nodeParts(s.Init, s.Tag)
+	case *ast.TypeSwitchStmt:
+		return nodeParts(s.Init, s.Assign)
+	case *ast.SelectStmt, *ast.LabeledStmt, *ast.BlockStmt:
+		return nil
+	default:
+		return []ast.Node{s}
+	}
+}
+
+// nodeParts filters out the nil slots of optional statement pieces.
+func nodeParts(parts ...ast.Node) []ast.Node {
+	var out []ast.Node
+	for _, p := range parts {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// usesObjectAt reports whether obj appears in the parts of s evaluated at
+// s's own CFG node (nested blocks belong to other nodes).
+func usesObjectAt(pkg *Package, s ast.Stmt, obj types.Object) bool {
+	for _, p := range ShallowParts(s) {
+		if usesObject(pkg, p, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcBodies visits every function body of the file in source order: all
+// FuncDecl bodies and all FuncLit bodies (each exactly once — a FuncLit
+// body is visited as its own unit, not as part of the enclosing body).
+func funcBodies(f *ast.File, visit func(body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				visit(n.Body)
+			}
+		case *ast.FuncLit:
+			visit(n.Body)
+		}
+		return true
+	})
+}

@@ -1,0 +1,348 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// buildFromSource parses src (a complete file with one function named F),
+// builds its flow graph, and returns it with the FileSet for line lookups.
+func buildFromSource(t *testing.T, src string) (*FlowGraph, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "flow.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "F" {
+			return BuildFlow(fd.Body), fset
+		}
+	}
+	t.Fatal("no func F in source")
+	return nil, nil
+}
+
+// render prints every statement node as "line -> succ-lines" (E for Exit),
+// one per line in creation order, giving tests a canonical CFG shape.
+func render(g *FlowGraph, fset *token.FileSet) string {
+	var b strings.Builder
+	line := func(n *FlowNode) string {
+		if n == g.Exit {
+			return "E"
+		}
+		return fmt.Sprint(fset.Position(n.Stmt.Pos()).Line)
+	}
+	for _, n := range g.Nodes {
+		succs := make([]string, 0, len(n.Succs))
+		for _, s := range n.Succs {
+			succs = append(succs, line(s))
+		}
+		sort.Strings(succs)
+		fmt.Fprintf(&b, "%s -> %s\n", line(n), strings.Join(succs, " "))
+	}
+	return b.String()
+}
+
+// nodeAtLine finds the (first) statement node on the given source line.
+func nodeAtLine(t *testing.T, g *FlowGraph, fset *token.FileSet, line int) *FlowNode {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if fset.Position(n.Stmt.Pos()).Line == line {
+			return n
+		}
+	}
+	t.Fatalf("no statement node on line %d", line)
+	return nil
+}
+
+func TestFlowIfElse(t *testing.T) {
+	g, fset := buildFromSource(t, `package p
+func F(a bool) int {
+	x := 0          // line 3
+	if a {          // line 4
+		x = 1       // line 5
+	} else {
+		x = 2       // line 7
+	}
+	return x        // line 9
+}`)
+	want := strings.TrimLeft(`
+3 -> 4
+4 -> 5 7
+5 -> 9
+7 -> 9
+9 -> E
+`, "\n")
+	if got := render(g, fset); got != want {
+		t.Fatalf("if/else CFG:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestFlowIfWithoutElseFallsThrough(t *testing.T) {
+	g, fset := buildFromSource(t, `package p
+func F(a bool) {
+	if a {      // line 3
+		work()  // line 4
+	}
+	done()      // line 6
+}`)
+	want := strings.TrimLeft(`
+3 -> 4 6
+4 -> 6
+6 -> E
+`, "\n")
+	if got := render(g, fset); got != want {
+		t.Fatalf("if CFG:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestFlowForLoop(t *testing.T) {
+	g, fset := buildFromSource(t, `package p
+func F(n int) {
+	for i := 0; i < n; i++ { // line 3
+		if i == 2 {          // line 4
+			break            // line 5
+		}
+		step()               // line 7
+	}
+	done()                   // line 9
+}`)
+	want := strings.TrimLeft(`
+3 -> 4 9
+4 -> 5 7
+5 -> 9
+7 -> 3
+9 -> E
+`, "\n")
+	if got := render(g, fset); got != want {
+		t.Fatalf("for CFG:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestFlowInfiniteLoopOnlyExitsViaBreak(t *testing.T) {
+	g, fset := buildFromSource(t, `package p
+func F() {
+	for {          // line 3
+		step()     // line 4
+	}
+	unreachable()  // line 6
+}`)
+	// The loop head must NOT fall through to line 6: the only edge into 6
+	// would be a break, and there is none.
+	n := nodeAtLine(t, g, fset, 3)
+	for _, s := range n.Succs {
+		if s != g.Exit && s.Stmt != nil && fset.Position(s.Stmt.Pos()).Line == 6 {
+			t.Fatalf("for{} head falls through past the loop:\n%s", render(g, fset))
+		}
+	}
+	if got := g.PathAvoiding(nodeAtLine(t, g, fset, 4), func(ast.Stmt) bool { return false }); got {
+		t.Fatal("body of for{} without break must not reach Exit")
+	}
+}
+
+func TestFlowLabeledContinueAndBreak(t *testing.T) {
+	g, fset := buildFromSource(t, `package p
+func F(m, n int) {
+outer:
+	for i := 0; i < m; i++ {     // line 4
+		for j := 0; j < n; j++ { // line 5
+			if bad(i, j) {       // line 6
+				continue outer   // line 7
+			}
+			if worse(i, j) {     // line 9
+				break outer      // line 10
+			}
+		}
+	}
+	done()                       // line 14
+}`)
+	// continue outer -> outer loop head (line 4); break outer -> line 14.
+	cont := nodeAtLine(t, g, fset, 7)
+	if len(cont.Succs) != 1 || fset.Position(cont.Succs[0].Stmt.Pos()).Line != 4 {
+		t.Fatalf("continue outer should target the outer for head:\n%s", render(g, fset))
+	}
+	brk := nodeAtLine(t, g, fset, 10)
+	if len(brk.Succs) != 1 || fset.Position(brk.Succs[0].Stmt.Pos()).Line != 14 {
+		t.Fatalf("break outer should target the statement after the loop:\n%s", render(g, fset))
+	}
+}
+
+func TestFlowSwitchFallthroughAndDefault(t *testing.T) {
+	g, fset := buildFromSource(t, `package p
+func F(x int) {
+	switch x {       // line 3
+	case 1:
+		one()        // line 5
+		fallthrough  // line 6
+	case 2:
+		two()        // line 8
+	}
+	after()          // line 10
+}`)
+	// fallthrough: line 6 -> line 8; no default: head -> after() too.
+	ft := nodeAtLine(t, g, fset, 6)
+	if len(ft.Succs) != 1 || fset.Position(ft.Succs[0].Stmt.Pos()).Line != 8 {
+		t.Fatalf("fallthrough should feed the next case body:\n%s", render(g, fset))
+	}
+	head := nodeAtLine(t, g, fset, 3)
+	skips := false
+	for _, s := range head.Succs {
+		if s.Stmt != nil && fset.Position(s.Stmt.Pos()).Line == 10 {
+			skips = true
+		}
+	}
+	if !skips {
+		t.Fatalf("switch without default must be skippable:\n%s", render(g, fset))
+	}
+
+	g2, fset2 := buildFromSource(t, `package p
+func F(x int) {
+	switch {        // line 3
+	case x > 0:
+		pos()       // line 5
+	default:
+		neg()       // line 7
+	}
+	after()         // line 9
+}`)
+	head2 := nodeAtLine(t, g2, fset2, 3)
+	for _, s := range head2.Succs {
+		if s.Stmt != nil && fset2.Position(s.Stmt.Pos()).Line == 9 {
+			t.Fatalf("switch with default must not skip all clauses:\n%s", render(g2, fset2))
+		}
+	}
+}
+
+func TestFlowDeferCollectedInOrder(t *testing.T) {
+	g, fset := buildFromSource(t, `package p
+func F(a bool) {
+	defer first()      // line 3
+	if a {
+		defer second() // line 5
+	}
+	work()             // line 7
+}`)
+	if len(g.Defers) != 2 {
+		t.Fatalf("defers = %d, want 2:\n%s", len(g.Defers), render(g, fset))
+	}
+	if l := fset.Position(g.Defers[0].Pos()).Line; l != 3 {
+		t.Fatalf("first defer on line %d, want 3", l)
+	}
+	if l := fset.Position(g.Defers[1].Pos()).Line; l != 5 {
+		t.Fatalf("second defer on line %d, want 5", l)
+	}
+	// Defers inside nested function literals belong to the literal.
+	g2, _ := buildFromSource(t, `package p
+func F() {
+	f := func() {
+		defer inner()
+	}
+	f()
+}`)
+	if len(g2.Defers) != 0 {
+		t.Fatalf("defer inside FuncLit leaked into enclosing graph (%d)", len(g2.Defers))
+	}
+}
+
+func TestFlowGoto(t *testing.T) {
+	g, fset := buildFromSource(t, `package p
+func F(n int) {
+	i := 0        // line 3
+loop:
+	if i < n {    // line 5
+		i++       // line 6
+		goto loop // line 7
+	}
+	done()        // line 9
+}`)
+	gt := nodeAtLine(t, g, fset, 7)
+	// goto resolves to the label node (line 4, the labeled statement).
+	if len(gt.Succs) != 1 {
+		t.Fatalf("goto should have exactly the label edge:\n%s", render(g, fset))
+	}
+	if l := fset.Position(gt.Succs[0].Stmt.Pos()).Line; l != 4 {
+		t.Fatalf("goto targets line %d, want the label on 4:\n%s", l, render(g, fset))
+	}
+	// The goto must NOT fall through to line 9; but line 5's false branch does.
+	if !g.PathAvoiding(nodeAtLine(t, g, fset, 3), func(s ast.Stmt) bool { return false }) {
+		t.Fatal("function with goto loop must still reach Exit via the false branch")
+	}
+}
+
+func TestFlowPathAvoiding(t *testing.T) {
+	g, fset := buildFromSource(t, `package p
+func F(a bool) {
+	acquire()       // line 3
+	if a {
+		return      // line 5
+	}
+	release()       // line 7
+}`)
+	isRelease := func(s ast.Stmt) bool {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "release"
+	}
+	if !g.PathAvoiding(nodeAtLine(t, g, fset, 3), isRelease) {
+		t.Fatal("early return on line 5 is a path that avoids release()")
+	}
+	// Remove the early return: every path now passes release().
+	g2, fset2 := buildFromSource(t, `package p
+func F(a bool) {
+	acquire()       // line 3
+	if a {
+		log()       // line 5
+	}
+	release()       // line 7
+}`)
+	if g2.PathAvoiding(nodeAtLine(t, g2, fset2, 3), isRelease) {
+		t.Fatal("with no early return, no path should avoid release()")
+	}
+}
+
+func TestFlowTerminalCallsEndPaths(t *testing.T) {
+	g, fset := buildFromSource(t, `package p
+func F(a bool) {
+	if a {
+		panic("boom") // line 4
+	}
+	work()            // line 6
+}`)
+	p := nodeAtLine(t, g, fset, 4)
+	if len(p.Succs) != 0 {
+		t.Fatalf("panic must not fall through:\n%s", render(g, fset))
+	}
+}
+
+func TestFlowReachable(t *testing.T) {
+	g, fset := buildFromSource(t, `package p
+func F(a bool) {
+	one()       // line 3
+	if a {
+		return  // line 5
+	}
+	two()       // line 7
+	three()     // line 8
+}`)
+	reach := g.Reachable(nodeAtLine(t, g, fset, 7))
+	lines := map[int]bool{}
+	for n := range reach {
+		lines[fset.Position(n.Stmt.Pos()).Line] = true
+	}
+	if !lines[8] || lines[3] || lines[5] {
+		t.Fatalf("Reachable(7) lines = %v, want exactly {8}", lines)
+	}
+}

@@ -60,12 +60,26 @@ type Analyzer struct {
 // All is the full analyzer suite, in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AtomicMix,
+		CtxCancel,
 		DroppedErr,
 		MapOrder,
+		MutexCopy,
+		PoolPut,
 		RatCompare,
 		RatFloat,
 		SeededRand,
+		WaitPair,
+		WallTime,
 	}
+}
+
+// Result is the outcome of one lint run: the surviving findings plus the
+// count of findings silenced by //lint:ignore directives (the driver
+// reports it so suppressions stay visible instead of vanishing).
+type Result struct {
+	Findings   []Diagnostic
+	Suppressed int
 }
 
 // Lint runs every analyzer over every package, applies //lint:ignore
@@ -73,12 +87,17 @@ func All() []*Analyzer {
 // Malformed directives (missing analyzer name or reason) are reported as
 // findings of the pseudo-analyzer "ignore".
 func Lint(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
+	return LintAll(pkgs, analyzers).Findings
+}
+
+// LintAll is Lint plus the suppression count.
+func LintAll(pkgs []*Package, analyzers []*Analyzer) Result {
+	var res Result
 	for _, pkg := range pkgs {
 		dirs := collectIgnores(pkg)
 		for _, d := range dirs {
 			if d.bad != "" {
-				out = append(out, Diagnostic{
+				res.Findings = append(res.Findings, Diagnostic{
 					Pos:      d.pos,
 					Analyzer: "ignore",
 					Message:  d.bad,
@@ -87,14 +106,16 @@ func Lint(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		for _, a := range analyzers {
 			for _, diag := range a.Run(pkg) {
-				if !suppressed(dirs, diag) {
-					out = append(out, diag)
+				if suppressed(dirs, diag) {
+					res.Suppressed++
+				} else {
+					res.Findings = append(res.Findings, diag)
 				}
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -106,7 +127,7 @@ func Lint(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
+	return res
 }
 
 // ignoreDirective is one parsed //lint:ignore comment.

@@ -103,6 +103,12 @@ func TestRatCompareFixture(t *testing.T) { runFixture(t, RatCompare, "ratcompare
 func TestRatFloatFixture(t *testing.T)   { runFixture(t, RatFloat, "ratfloat") }
 func TestMapOrderFixture(t *testing.T)   { runFixture(t, MapOrder, "maporder") }
 func TestDroppedErrFixture(t *testing.T) { runFixture(t, DroppedErr, "droppederr") }
+func TestPoolPutFixture(t *testing.T)    { runFixture(t, PoolPut, "poolput") }
+func TestCtxCancelFixture(t *testing.T)  { runFixture(t, CtxCancel, "ctxcancel") }
+func TestWaitPairFixture(t *testing.T)   { runFixture(t, WaitPair, "waitpair") }
+func TestAtomicMixFixture(t *testing.T)  { runFixture(t, AtomicMix, "atomicmix") }
+func TestMutexCopyFixture(t *testing.T)  { runFixture(t, MutexCopy, "mutexcopy") }
+func TestWallTimeFixture(t *testing.T)   { runFixture(t, WallTime, "walltime") }
 
 // TestIgnoreDirectives checks suppression semantics directly: a malformed
 // directive is itself a finding and suppresses nothing; a well-formed one
@@ -179,6 +185,49 @@ func TestLoaderResolvesModuleAndStdlib(t *testing.T) {
 	}
 }
 
+// TestLoadTreeParallelMatchesSerial pins the loader equivalence contract:
+// the parallel tree load must produce the same units, in the same order,
+// with byte-identical lint output, as the serial one.
+func TestLoadTreeParallelMatchesSerial(t *testing.T) {
+	render := func(pkgs []*Package) string {
+		var b strings.Builder
+		for _, p := range pkgs {
+			fmt.Fprintf(&b, "%s %d\n", p.Path, len(p.Files))
+		}
+		for _, d := range Lint(pkgs, All()) {
+			fmt.Fprintln(&b, d)
+		}
+		return b.String()
+	}
+	root := ".." // repro/internal: several interdependent packages
+
+	serial, err := NewLoader("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spkgs, err := serial.LoadTree(root, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parallel, err := NewLoader("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppkgs, err := parallel.LoadTreeParallel(root, true, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, want := render(ppkgs), render(spkgs)
+	if got != want {
+		t.Fatalf("parallel load differs from serial:\n--- parallel ---\n%s--- serial ---\n%s", got, want)
+	}
+	if len(ppkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+}
+
 // TestAnalyzerNamesUnique guards the suppression namespace.
 func TestAnalyzerNamesUnique(t *testing.T) {
 	seen := map[string]bool{}
@@ -191,8 +240,8 @@ func TestAnalyzerNamesUnique(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 5 {
-		t.Fatalf("analyzer count = %d, want 5", len(seen))
+	if len(seen) != 11 {
+		t.Fatalf("analyzer count = %d, want 11", len(seen))
 	}
 }
 

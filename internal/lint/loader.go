@@ -9,8 +9,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked unit: either a package (its compile files
@@ -44,8 +46,10 @@ type Loader struct {
 	Fset *token.FileSet
 
 	std     types.ImporterFrom
+	mu      sync.Mutex                // guards cache and loading
 	cache   map[string]*types.Package // import path -> checked (non-test files only)
 	loading map[string]bool
+	stdMu   sync.Mutex // the source importer is not documented as concurrency-safe
 }
 
 // NewLoader locates the enclosing module by walking up from dir (or the
@@ -111,19 +115,37 @@ func modulePath(gomod string) string {
 // paths are checked from source under Root, anything else goes to the
 // source importer. Loader itself implements types.Importer so checked
 // packages can import each other.
+//
+// Import is safe for concurrent use, with one caveat: two goroutines may
+// not concurrently import module-internal packages whose dependency
+// closures overlap, or the in-progress marker reads as a cycle.
+// LoadTreeParallel avoids this by pre-filling the cache in dependency
+// order, so its phase-B checks only ever hit the cache.
 func (l *Loader) Import(path string) (*types.Package, error) {
-	if pkg, ok := l.cache[path]; ok {
+	l.mu.Lock()
+	pkg, ok := l.cache[path]
+	l.mu.Unlock()
+	if ok {
 		return pkg, nil
 	}
 	dir, internal := l.dirFor(path)
 	if !internal {
+		l.stdMu.Lock()
+		defer l.stdMu.Unlock()
 		return l.std.ImportFrom(path, l.Root, 0)
 	}
+	l.mu.Lock()
 	if l.loading[path] {
+		l.mu.Unlock()
 		return nil, fmt.Errorf("lint: import cycle through %s", path)
 	}
 	l.loading[path] = true
-	defer delete(l.loading, path)
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.loading, path)
+		l.mu.Unlock()
+	}()
 
 	files, err := l.parseDir(dir, false)
 	if err != nil {
@@ -133,11 +155,13 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
 	conf := types.Config{Importer: l}
-	pkg, err := conf.Check(path, l.Fset, files, nil)
+	pkg, err = conf.Check(path, l.Fset, files, nil)
 	if err != nil {
 		return nil, err
 	}
+	l.mu.Lock()
 	l.cache[path] = pkg
+	l.mu.Unlock()
 	return pkg, nil
 }
 
@@ -262,6 +286,24 @@ func (l *Loader) check(path, dir string, files []*ast.File) (*Package, error) {
 // LoadTree loads every package directory under root (which must be inside
 // the module), skipping testdata, hidden, and underscore directories.
 func (l *Loader) LoadTree(root string, tests bool) ([]*Package, error) {
+	dirs, err := l.walkDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		units, err := l.LoadDir(dir, tests)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, units...)
+	}
+	return pkgs, nil
+}
+
+// walkDirs collects the package directories under root, sorted, skipping
+// testdata, hidden, and underscore directories.
+func (l *Loader) walkDirs(root string) ([]string, error) {
 	abs, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
@@ -285,13 +327,220 @@ func (l *Loader) LoadTree(root string, tests bool) ([]*Package, error) {
 		return nil, err
 	}
 	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// LoadTreeParallel is LoadTree with concurrent type-checking. It runs in
+// two phases so the shared import cache is only ever read concurrently,
+// never raced on:
+//
+//   - Phase A walks the module-internal import DAG (imports of the target
+//     directories plus their transitive internal closure), then checks it
+//     into the cache level by level — a package is checked only after all
+//     of its dependencies, and packages within a level are independent, so
+//     they check in parallel. Leftover nodes mean an import cycle.
+//   - Phase B checks the target units themselves (with test files and full
+//     Info) across `workers` goroutines; every internal import is a cache
+//     hit by construction.
+//
+// The result is identical to LoadTree: same units, same order.
+func (l *Loader) LoadTreeParallel(root string, tests bool, workers int) ([]*Package, error) {
+	dirs, err := l.walkDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return l.LoadTree(root, tests)
+	}
+	if err := l.prefill(dirs, tests, workers); err != nil {
+		return nil, err
+	}
+	units := make([][]*Package, len(dirs))
+	errs := make([]error, len(dirs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				units[i], errs[i] = l.LoadDir(dirs[i], tests)
+			}
+		}()
+	}
+	for i := range dirs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 	var pkgs []*Package
-	for _, dir := range dirs {
-		units, err := l.LoadDir(dir, tests)
-		if err != nil {
-			return nil, err
+	for i := range dirs {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		pkgs = append(pkgs, units...)
+		pkgs = append(pkgs, units[i]...)
 	}
 	return pkgs, nil
+}
+
+// prefill type-checks the module-internal dependency closure of dirs into
+// the import cache, in dependency order, parallel within each level.
+func (l *Loader) prefill(dirs []string, tests bool, workers int) error {
+	// deps maps each internal import path to the internal paths its
+	// compile (and, for target dirs, in-package test) files import — the
+	// edges that constrain check order. External-test imports only seed
+	// new nodes: package p_test may depend on packages that import p.
+	deps := map[string][]string{}
+	var queue []string
+	seed := func(path string) {
+		if _, ok := deps[path]; !ok {
+			deps[path] = nil
+			queue = append(queue, path)
+		}
+	}
+	for _, dir := range dirs {
+		ordering, extra, err := l.importsOf(dir, tests)
+		if err != nil {
+			return err
+		}
+		if ordering == nil && extra == nil {
+			continue // no Go files
+		}
+		path := l.pathFor(dir)
+		seed(path)
+		deps[path] = ordering
+		for _, p := range append(ordering, extra...) {
+			seed(p)
+		}
+	}
+	// Expand the closure: every seeded non-target node contributes its own
+	// compile imports.
+	for len(queue) > 0 {
+		path := queue[0]
+		queue = queue[1:]
+		if deps[path] != nil {
+			continue
+		}
+		dir, internal := l.dirFor(path)
+		if !internal {
+			delete(deps, path)
+			continue
+		}
+		ordering, _, err := l.importsOf(dir, false)
+		if err != nil {
+			return err
+		}
+		deps[path] = ordering
+		for _, p := range ordering {
+			seed(p)
+		}
+	}
+	// Kahn's algorithm by levels, checking each level in parallel.
+	done := map[string]bool{}
+	for len(done) < len(deps) {
+		var ready []string
+		for path, ds := range deps {
+			if done[path] {
+				continue
+			}
+			ok := true
+			for _, d := range ds {
+				if _, tracked := deps[d]; tracked && !done[d] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, path)
+			}
+		}
+		if len(ready) == 0 {
+			var left []string
+			for path := range deps {
+				if !done[path] {
+					left = append(left, path)
+				}
+			}
+			sort.Strings(left)
+			return fmt.Errorf("lint: import cycle among %s", strings.Join(left, ", "))
+		}
+		sort.Strings(ready)
+		errs := make([]error, len(ready))
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, path := range ready {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, path string) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				_, errs[i] = l.Import(path)
+			}(i, path)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		for _, path := range ready {
+			done[path] = true
+		}
+	}
+	return nil
+}
+
+// importsOf parses the import clauses of dir's Go files (ImportsOnly — no
+// bodies) and splits the module-internal paths into ordering edges
+// (compile and in-package test files, which the checker treats exactly
+// like Go's import-cycle rules) and extras (external _test package files,
+// which may legally import packages that import this one).
+func (l *Loader) importsOf(dir string, tests bool) (ordering, extra []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	seenOrd := map[string]bool{}
+	seenExtra := map[string]bool{}
+	found := false
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, nil, err
+		}
+		found = true
+		xtest := strings.HasSuffix(f.Name.Name, "_test")
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if _, internal := l.dirFor(path); !internal {
+				continue
+			}
+			if xtest {
+				if !seenExtra[path] {
+					seenExtra[path] = true
+					extra = append(extra, path)
+				}
+			} else if !seenOrd[path] {
+				seenOrd[path] = true
+				ordering = append(ordering, path)
+			}
+		}
+	}
+	if !found {
+		return nil, nil, nil
+	}
+	if ordering == nil {
+		ordering = []string{}
+	}
+	return ordering, extra, nil
 }

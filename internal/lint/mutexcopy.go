@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// MutexCopy guards against copied locks: a sync.Mutex (or any type
+// containing one) that is passed, returned, or assigned by value forks
+// the lock state — both copies unlock independently and the critical
+// section silently stops excluding anything. `go vet -copylocks` catches
+// many of these, but not in this repository's stdlib-only lint pass, and
+// not for the typed atomics (atomic.Int64 & friends) the engine's
+// counters rely on. It reports
+//
+//   - function parameters, results, and receivers whose type carries a
+//     lock by value;
+//   - assignments whose right-hand side copies an existing lock-bearing
+//     value (composite literals are fresh values and are fine);
+//   - range clauses whose value variable copies lock-bearing elements.
+var MutexCopy = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "types containing sync or atomic state must be passed by pointer, never copied",
+	Run:  runMutexCopy,
+}
+
+// lockTypes are the by-value-uncopyable types of sync and sync/atomic.
+var lockTypes = map[string]map[string]bool{
+	"sync": {
+		"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+		"Cond": true, "Map": true, "Pool": true,
+	},
+	"sync/atomic": {
+		"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+		"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+	},
+}
+
+func runMutexCopy(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos ast.Node, what string, t types.Type) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(pos.Pos()),
+			Analyzer: "mutexcopy",
+			Message:  fmt.Sprintf("%s copies %s, which contains lock or atomic state; use a pointer", what, types.TypeString(t, types.RelativeTo(pkg.Types))),
+		})
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					diags = append(diags, checkFieldList(pkg, n.Recv, "receiver")...)
+				}
+				diags = append(diags, checkFuncType(pkg, n.Type)...)
+			case *ast.FuncLit:
+				diags = append(diags, checkFuncType(pkg, n.Type)...)
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					if !copiesExistingValue(rhs) {
+						continue
+					}
+					if t := pkg.Info.Types[rhs].Type; t != nil && typeHasLock(t, nil) {
+						report(rhs, "assignment", t)
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				if id, ok := ast.Unparen(n.Value).(*ast.Ident); ok && id.Name == "_" {
+					return true
+				}
+				if t := valueType(pkg, n.Value); t != nil && typeHasLock(t, nil) {
+					report(n.Value, "range value", t)
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkFuncType reports lock-bearing by-value parameters and results.
+func checkFuncType(pkg *Package, ft *ast.FuncType) []Diagnostic {
+	var diags []Diagnostic
+	diags = append(diags, checkFieldList(pkg, ft.Params, "parameter")...)
+	if ft.Results != nil {
+		diags = append(diags, checkFieldList(pkg, ft.Results, "result")...)
+	}
+	return diags
+}
+
+func checkFieldList(pkg *Package, fl *ast.FieldList, what string) []Diagnostic {
+	var diags []Diagnostic
+	for _, field := range fl.List {
+		t := pkg.Info.Types[field.Type].Type
+		if t == nil || !typeHasLock(t, nil) {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(field.Type.Pos()),
+			Analyzer: "mutexcopy",
+			Message:  fmt.Sprintf("%s copies %s, which contains lock or atomic state; use a pointer", what, types.TypeString(t, types.RelativeTo(pkg.Types))),
+		})
+	}
+	return diags
+}
+
+// valueType resolves the type of an assignment/range target. Identifiers
+// introduced by `:=` are recorded in Defs rather than Types, so the plain
+// expression lookup alone would miss them.
+func valueType(pkg *Package, expr ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[expr]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := pkg.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// copiesExistingValue reports whether expr reads an existing storage
+// location (so assigning it copies state): an identifier, field selector,
+// dereference, or index. Fresh values — composite literals, calls — are
+// legitimate initializations.
+func copiesExistingValue(expr ast.Expr) bool {
+	switch ast.Unparen(expr).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// typeHasLock reports whether t carries lock/atomic state by value:
+// it is (or is a struct/array transitively containing) one of lockTypes.
+// Pointers, slices, maps, channels, and funcs break the chain — sharing
+// through them is exactly the sanctioned fix.
+func typeHasLock(t types.Type, seen map[*types.Named]bool) bool {
+	t = types.Unalias(t)
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil && lockTypes[obj.Pkg().Path()][obj.Name()] {
+			return true
+		}
+		if seen[n] {
+			return false
+		}
+		if seen == nil {
+			seen = map[*types.Named]bool{}
+		}
+		seen[n] = true
+		return typeHasLock(n.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeHasLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return typeHasLock(u.Elem(), seen)
+	}
+	return false
+}

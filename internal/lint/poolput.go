@@ -1,0 +1,328 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// PoolPut guards the pooled-scratch discipline of the hot paths
+// (engine.Metrics, sim's saturation scratch): an object taken from a
+// sync.Pool must either be returned to the pool on every path out of the
+// function or have its ownership explicitly transferred (returned to the
+// caller, stored into a field, sent on a channel, or handed to another
+// function). It reports
+//
+//   - a Pool.Get whose result can reach the function exit on some path
+//     with neither a Put/Release nor an ownership transfer — the silent
+//     pool-drain bug (each miss costs an allocation, never a crash, so
+//     only a checker catches it);
+//   - a use of the pooled object at a statement reachable after an inline
+//     Put — by then another goroutine may own the object;
+//   - a return statement whose results mention the object while a
+//     deferred Put is pending — the defer recycles the object before the
+//     caller ever sees it.
+//
+// A deferred Put (or Release) covers every path at once; calling the
+// object's Release method counts as a Put (the repository's pooled types
+// wrap their pool behind one).
+var PoolPut = &Analyzer{
+	Name: "poolput",
+	Doc:  "sync.Pool Get must be paired with Put on every path, and objects must not be used after Put",
+	Run:  runPoolPut,
+}
+
+func runPoolPut(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		funcBodies(f, func(body *ast.BlockStmt) {
+			diags = append(diags, poolPutBody(pkg, body)...)
+		})
+	}
+	return diags
+}
+
+// poolGet matches one Get site: the assignment statement and the local
+// variable that now owns a pooled object.
+type poolGet struct {
+	stmt ast.Stmt
+	obj  types.Object
+}
+
+func poolPutBody(pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	gets := collectPoolGets(pkg, body)
+	if len(gets) == 0 {
+		return nil
+	}
+	g := BuildFlow(body)
+	var diags []Diagnostic
+	for _, get := range gets {
+		diags = append(diags, checkPoolGet(pkg, g, get)...)
+	}
+	return diags
+}
+
+// collectPoolGets finds `v := pool.Get().(T)`-shaped assignments to a
+// plain identifier, at any statement depth of body but not inside nested
+// function literals (those are analyzed as their own bodies).
+func collectPoolGets(pkg *Package, body *ast.BlockStmt) []poolGet {
+	var gets []poolGet
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		if !isPoolGetCall(pkg, as.Rhs[0]) {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id]
+		}
+		if obj != nil {
+			gets = append(gets, poolGet{stmt: as, obj: obj})
+		}
+		return true
+	})
+	return gets
+}
+
+// isPoolGetCall reports whether expr is (possibly type-asserted)
+// pool.Get() on a sync.Pool.
+func isPoolGetCall(pkg *Package, expr ast.Expr) bool {
+	e := ast.Unparen(expr)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" {
+		return false
+	}
+	return isSyncPool(pkg.Info.Types[sel.X].Type)
+}
+
+// isSyncPool reports whether t (or its pointee) is sync.Pool.
+func isSyncPool(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isNamed(t, "sync", "Pool")
+}
+
+// checkPoolGet verifies the three pooling rules for one Get site.
+func checkPoolGet(pkg *Package, g *FlowGraph, get poolGet) []Diagnostic {
+	var diags []Diagnostic
+	// releasesAt is the per-node predicate: only the parts of a statement
+	// executed at its own CFG node count (a Put nested in an if body must
+	// not make the if head itself a release).
+	releasesAt := func(s ast.Stmt) bool {
+		for _, p := range ShallowParts(s) {
+			if containsRelease(pkg, p, get.obj) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Rule 3: deferred Put + return mentioning the object. Deferred calls
+	// are inspected in full: a deferred closure that Puts does run.
+	deferred := false
+	for _, d := range g.Defers {
+		if containsRelease(pkg, d, get.obj) {
+			deferred = true
+			break
+		}
+	}
+	if deferred {
+		for _, n := range g.Nodes {
+			ret, ok := n.Stmt.(*ast.ReturnStmt)
+			if !ok {
+				continue
+			}
+			for _, res := range ret.Results {
+				if aliasesObject(pkg, res, get.obj) {
+					diags = append(diags, Diagnostic{
+						Pos:      pkg.Fset.Position(ret.Pos()),
+						Analyzer: "poolput",
+						Message:  "pooled object returned while a deferred Put will recycle it; the caller receives memory the pool may hand to another goroutine",
+					})
+				}
+			}
+		}
+		return diags // the deferred Put covers every path for rules 1-2
+	}
+
+	// Rule 1: some path from Get to exit with no release and no transfer.
+	getNode := g.NodeFor(get.stmt)
+	satisfies := func(s ast.Stmt) bool {
+		return s != nil && (releasesAt(s) || transfersOwnership(pkg, s, get.obj))
+	}
+	if g.PathAvoiding(getNode, satisfies) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(get.stmt.Pos()),
+			Analyzer: "poolput",
+			Message:  "sync.Pool Get result can reach a return with no Put on that path; release it (or transfer ownership) on every path or the pool silently drains",
+		})
+	}
+
+	// Rule 2: a use reachable after an inline Put.
+	for _, n := range g.Nodes {
+		if _, isDefer := n.Stmt.(*ast.DeferStmt); isDefer || !releasesAt(n.Stmt) {
+			continue
+		}
+		var after []*FlowNode
+		for m := range g.Reachable(n) {
+			after = append(after, m)
+		}
+		sort.Slice(after, func(i, j int) bool { return after[i].Stmt.Pos() < after[j].Stmt.Pos() })
+		for _, m := range after {
+			if reassigns(pkg, m.Stmt, get.obj) {
+				continue
+			}
+			if m != n && usesObjectAt(pkg, m.Stmt, get.obj) {
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Fset.Position(m.Stmt.Pos()),
+					Analyzer: "poolput",
+					Message:  "pooled object used after Put returned it to the pool; another goroutine may already own it",
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// aliasesObject reports whether expr evaluates to the pooled object or to
+// memory reachable through it: the identifier itself, or a chain of
+// selector / index / slice / dereference / address-of steps rooted at it.
+// A value merely derived from the object through a call (len(s.sums)) is
+// computed before any deferred Put runs and is safe to return.
+func aliasesObject(pkg *Package, expr ast.Expr, obj types.Object) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			expr = e.X
+		case *ast.Ident:
+			return pkg.Info.Uses[e] == obj
+		default:
+			return false
+		}
+	}
+}
+
+// containsRelease reports whether n contains a call that gives the pooled
+// object back: pool.Put(obj ...) on a sync.Pool, or obj.Release().
+func containsRelease(pkg *Package, n ast.Node, obj types.Object) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Put":
+			if isSyncPool(pkg.Info.Types[sel.X].Type) {
+				for _, arg := range call.Args {
+					if usesObject(pkg, arg, obj) {
+						found = true
+					}
+				}
+			}
+		case "Release":
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// transfersOwnership reports whether stmt moves the pooled object out of
+// the function's custody: returning it, storing it into a field / index /
+// dereference, sending it on a channel, or passing it to a call (other
+// than a release, which containsRelease already classifies).
+func transfersOwnership(pkg *Package, stmt ast.Stmt, obj types.Object) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			if usesObject(pkg, res, obj) {
+				return true
+			}
+		}
+	case *ast.SendStmt:
+		return usesObject(pkg, s.Value, obj)
+	case *ast.AssignStmt:
+		for i, lhs := range s.Lhs {
+			if i >= len(s.Rhs) {
+				break
+			}
+			if !usesObject(pkg, s.Rhs[i], obj) {
+				continue
+			}
+			switch ast.Unparen(lhs).(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+				return true
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			for _, arg := range call.Args {
+				if usesObject(pkg, arg, obj) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// reassigns reports whether stmt rebinds obj (so later uses refer to a
+// fresh value, not the released one).
+func reassigns(pkg *Package, stmt ast.Stmt, obj types.Object) bool {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if pkg.Info.Uses[id] == obj || pkg.Info.Defs[id] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,47 @@
+// Fixture for the atomicmix analyzer: plain loads/stores of variables
+// elsewhere accessed through sync/atomic are findings; all-atomic access
+// is the sanctioned near-miss.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	hits int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// read races with inc: a plain load of an atomically-written field.
+func (c *counter) read() int64 {
+	return c.n // want `n is accessed atomically at a\.go:\d+ but with a plain load/store`
+}
+
+var total int64
+
+func bump() {
+	atomic.AddInt64(&total, 1)
+}
+
+// reset races with bump: a plain store to an atomically-added variable.
+func reset() {
+	total = 0 // want `total is accessed atomically at a\.go:\d+ but with a plain load/store`
+}
+
+// allAtomic is the sanctioned pattern: every access goes through
+// sync/atomic.
+func allAtomic(c *counter) int64 {
+	atomic.StoreInt64(&c.hits, 0)
+	atomic.AddInt64(&c.hits, 1)
+	return atomic.LoadInt64(&c.hits)
+}
+
+var plain int64
+
+// neverAtomic is fine: plain is never touched by sync/atomic.
+func neverAtomic() int64 {
+	plain++
+	return plain
+}

@@ -1,0 +1,61 @@
+// Fixture for the ctxcancel analyzer: discarded and path-leaked cancel
+// funcs are findings; defer cancel(), per-path calls, and handing the
+// cancel func to the caller are the sanctioned near-misses.
+package ctxcancel
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+var errEarly = errors.New("early")
+
+// leak loses the cancel func on the error path.
+func leak(parent context.Context, fail bool) error {
+	ctx, cancel := context.WithCancel(parent) // want `can leak on an early return`
+	if fail {
+		return errEarly
+	}
+	use(ctx)
+	cancel()
+	return nil
+}
+
+// discarded can never cancel: the func is assigned to the blank
+// identifier.
+func discarded(parent context.Context) context.Context {
+	ctx, _ := context.WithTimeout(parent, time.Second) // want `discarded`
+	return ctx
+}
+
+// goodDefer is the sanctioned idiom.
+func goodDefer(parent context.Context, fail bool) error {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	if fail {
+		return errEarly
+	}
+	use(ctx)
+	return nil
+}
+
+// goodHandoff transfers the obligation to the caller on every path.
+func goodHandoff(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	return ctx, cancel
+}
+
+// goodPerPath calls cancel on each path explicitly.
+func goodPerPath(parent context.Context, fail bool) error {
+	ctx, cancel := context.WithCancel(parent)
+	if fail {
+		cancel()
+		return errEarly
+	}
+	use(ctx)
+	cancel()
+	return nil
+}
+
+func use(context.Context) {}

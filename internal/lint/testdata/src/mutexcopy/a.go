@@ -1,0 +1,76 @@
+// Fixture for the mutexcopy analyzer: lock-bearing values passed,
+// returned, assigned, or ranged by value are findings; pointers and
+// fresh composite literals are the sanctioned near-misses.
+package mutexcopy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type stats struct {
+	hits atomic.Int64
+}
+
+// byValueParam forks the mutex: caller and callee unlock different locks.
+func byValueParam(g guarded) int { // want `parameter copies guarded`
+	return g.n
+}
+
+// byValueMethod does the same through the receiver.
+func (g guarded) byValueMethod() int { // want `receiver copies guarded`
+	return g.n
+}
+
+// byValueResult copies the lock out to every caller.
+func byValueResult() guarded { // want `result copies guarded`
+	return guarded{}
+}
+
+// snapshotStats copies a typed atomic, losing its atomicity guarantees.
+func snapshotStats(s stats) int64 { // want `parameter copies stats`
+	return 0
+}
+
+// assignCopy duplicates the lock state into a local.
+func assignCopy(g *guarded) {
+	snapshot := *g // want `assignment copies guarded`
+	_ = snapshot.n
+}
+
+// rangeCopy duplicates each element's lock into the loop variable.
+func rangeCopy(gs []guarded) int {
+	sum := 0
+	for _, g := range gs { // want `range value copies guarded`
+		sum += g.n
+	}
+	return sum
+}
+
+// goodPointer shares the lock instead of copying it.
+func goodPointer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// goodInit builds fresh values; composite literals copy nothing.
+func goodInit() *guarded {
+	g := guarded{}
+	p := &g
+	return p
+}
+
+// goodIndexLoop avoids the copy by indexing.
+func goodIndexLoop(gs []guarded) int {
+	sum := 0
+	for i := range gs {
+		sum += gs[i].n
+	}
+	return sum
+}

@@ -1,0 +1,77 @@
+// Fixture for the poolput analyzer: pool leaks on error paths, uses
+// after Put, and returns under a deferred Put are findings; deferred
+// release, per-path release, and ownership transfer are the sanctioned
+// near-misses.
+package poolput
+
+import (
+	"errors"
+	"sync"
+)
+
+var errEarly = errors.New("early")
+
+type buf struct{ b []byte }
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+// leak loses the pooled object on the error path: nothing Puts it back
+// before the early return.
+func leak(fail bool) error {
+	b := pool.Get().(*buf) // want `can reach a return with no Put`
+	if fail {
+		return errEarly
+	}
+	pool.Put(b)
+	return nil
+}
+
+// useAfterPut touches the object after handing it back to the pool.
+func useAfterPut() int {
+	b := pool.Get().(*buf)
+	pool.Put(b)
+	return len(b.b) // want `used after Put`
+}
+
+// deferReturn returns the object while a deferred Put is pending, so the
+// caller receives memory the pool is about to recycle.
+func deferReturn() *buf {
+	b := pool.Get().(*buf)
+	defer pool.Put(b)
+	return b // want `returned while a deferred Put`
+}
+
+// goodDefer is the sanctioned idiom: the deferred Put covers every path.
+func goodDefer(fail bool) error {
+	b := pool.Get().(*buf)
+	defer pool.Put(b)
+	if fail {
+		return errEarly
+	}
+	b.b = b.b[:0]
+	return nil
+}
+
+// goodTransfer hands ownership to the caller; the caller must release.
+func goodTransfer() *buf {
+	b := pool.Get().(*buf)
+	b.b = b.b[:0]
+	return b
+}
+
+type scratch struct{ sums []uint64 }
+
+func (s *scratch) Release() {}
+
+var spool = sync.Pool{New: func() any { return new(scratch) }}
+
+// goodReleaseMethod releases through the wrapper method on each path.
+func goodReleaseMethod(fail bool) error {
+	s := spool.Get().(*scratch)
+	if fail {
+		s.Release()
+		return errEarly
+	}
+	s.Release()
+	return nil
+}

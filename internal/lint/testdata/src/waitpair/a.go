@@ -1,0 +1,73 @@
+// Fixture for the waitpair analyzer: detached goroutines with no
+// completion signal are findings; WaitGroup pairing, channel sends,
+// closes, and join handles passed as arguments are the sanctioned
+// near-misses.
+package waitpair
+
+import "sync"
+
+// detached has no join: nobody can observe its completion.
+func detached() {
+	go func() { // want `no WaitGroup or channel join`
+		work()
+	}()
+}
+
+// detachedCall spawns a plain call with no join handle among the
+// arguments.
+func detachedCall() {
+	go work() // want `no WaitGroup or channel join`
+}
+
+// goodWaitGroup is the canonical paired spawn.
+func goodWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// goodChannelSend signals completion by sending.
+func goodChannelSend() <-chan int {
+	done := make(chan int)
+	go func() {
+		work()
+		done <- 1
+	}()
+	return done
+}
+
+// goodClose signals completion by closing.
+func goodClose() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// goodJoinArg hands the join handle to the spawned function.
+func goodJoinArg() {
+	done := make(chan struct{})
+	go worker(done)
+	<-done
+}
+
+// goodRange drains a channel; the range is itself the join.
+func goodRange(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+func worker(done chan struct{}) {
+	defer close(done)
+	work()
+}
+
+func work() {}

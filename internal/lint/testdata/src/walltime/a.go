@@ -1,0 +1,44 @@
+// Fixture for the walltime analyzer: wall-clock reads in a deterministic
+// package are findings; the injected-clock pattern (one suppressed
+// injection point, all other reads through it) and pure duration
+// arithmetic are the sanctioned near-misses.
+package walltime
+
+import "time"
+
+type engine struct {
+	now func() time.Time
+}
+
+// newEngine is the single sanctioned injection point.
+func newEngine() *engine {
+	return &engine{
+		//lint:ignore walltime single injection point; everything else reads e.now
+		now: time.Now,
+	}
+}
+
+// bad reads the wall clock directly.
+func bad() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// badSince derives a wall-clock-dependent duration.
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+// badTicker plants a wall-clock timer.
+func badTicker(d time.Duration) *time.Ticker {
+	return time.NewTicker(d) // want `time\.NewTicker reads the wall clock`
+}
+
+// goodDurations is pure arithmetic: no clock read.
+func goodDurations() time.Duration {
+	return 3 * time.Millisecond
+}
+
+// stamp goes through the injected clock.
+func (e *engine) stamp() time.Time {
+	return e.now()
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WaitPair guards the engine's determinism contract at its root: every
+// goroutine whose completion matters must be joinable. A `go` statement
+// with no completion signal — no sync.WaitGroup Done/Wait, no channel
+// send, close, or receive, and no WaitGroup/channel passed into the
+// spawned function — cannot be waited for, so the spawner cannot know
+// when its writes are visible (the classic lost-update that makes a
+// campaign's journal depend on scheduling).
+//
+// A goroutine counts as paired when the spawned function (literal body or
+// call arguments) involves any of:
+//
+//   - a sync.WaitGroup method call (Done, Wait, Add);
+//   - a channel operation: send, receive, close, select, range-over-chan;
+//   - a channel- or WaitGroup-typed value among the call's arguments or
+//     the called method's receiver.
+//
+// Intentionally detached goroutines (fire-and-forget servers) do exist;
+// suppress them with //lint:ignore waitpair and a written reason that
+// names the mechanism making their lifecycle observable.
+var WaitPair = &Analyzer{
+	Name: "waitpair",
+	Doc:  "goroutines must be joinable via a WaitGroup or a channel",
+	Run:  runWaitPair,
+}
+
+func runWaitPair(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutinePaired(pkg, gs.Call) {
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Fset.Position(gs.Pos()),
+					Analyzer: "waitpair",
+					Message:  "goroutine has no WaitGroup or channel join; its completion (and the visibility of its writes) is unobservable",
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// goroutinePaired reports whether the spawned call carries a completion
+// signal.
+func goroutinePaired(pkg *Package, call *ast.CallExpr) bool {
+	// A channel or WaitGroup handed to the spawned function (argument or
+	// method receiver) is a join point even if we cannot see its body.
+	for _, arg := range call.Args {
+		if isJoinType(pkg.Info.Types[arg].Type) {
+			return true
+		}
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return bodyHasJoin(pkg, fun.Body)
+	case *ast.SelectorExpr:
+		if isJoinType(pkg.Info.Types[fun.X].Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isJoinType reports whether t is a direct join handle: a channel or a
+// sync.WaitGroup, possibly behind a pointer. Structs that merely contain
+// one do not count.
+func isJoinType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	return isNamed(t, "sync", "WaitGroup")
+}
+
+// waitGroupMethods are the sync.WaitGroup methods that establish a join.
+var waitGroupMethods = map[string]bool{"Add": true, "Done": true, "Wait": true}
+
+// bodyHasJoin scans a goroutine body for any completion signal.
+func bodyHasJoin(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if t := pkg.Info.Types[n.X].Type; t != nil && n.Op.String() == "<-" {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.RangeStmt:
+			if t := pkg.Info.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if b, ok := pkg.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "close" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if waitGroupMethods[fun.Sel.Name] && isJoinType(pkg.Info.Types[fun.X].Type) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// WallTime guards reproducibility in the deterministic subsystems: a
+// campaign journal must be byte-identical across runs, so the packages
+// that produce it may not read the wall clock. A time.Now() (or a timer)
+// in internal/engine, internal/core, or internal/sim makes output depend
+// on when — not just on what — was computed. The sanctioned pattern is an
+// injected clock: a `now func() time.Time` field defaulted once at
+// construction, referenced everywhere else.
+//
+// The analyzer fires on any reference to the clock-reading identifiers of
+// package time (Now, Since, Until, After, Tick, AfterFunc, NewTimer,
+// NewTicker) — references, not just calls, because `e.now = time.Now`
+// also plants a wall-clock dependency (that single injection point is
+// where a //lint:ignore belongs). Pure conversions and constants
+// (time.Duration, time.Millisecond, ...) are fine. Test files are exempt:
+// measuring wall time in a test does not leak into a journal.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "deterministic packages must not read the wall clock; inject a clock instead",
+	Run:  runWallTime,
+}
+
+// wallClockScope lists the import paths whose output must be independent
+// of wall time. (The testdata paths keep the ttdclint fixtures
+// exercisable end to end.)
+var wallClockScope = map[string]bool{
+	"repro/internal/engine":                     true,
+	"repro/internal/core":                       true,
+	"repro/internal/sim":                        true,
+	"repro/internal/lint/testdata/src/walltime": true,
+	"repro/cmd/ttdclint/testdata/bad":           true,
+	"repro/cmd/ttdclint/testdata/good":          true,
+}
+
+// wallClockFuncs are the package time identifiers that read the clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "AfterFunc": true, "NewTimer": true, "NewTicker": true,
+}
+
+func runWallTime(pkg *Package) []Diagnostic {
+	path := pkg.Types.Path()
+	if !wallClockScope[strings.TrimSuffix(path, "_test")] {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		if strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			obj := pkg.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(sel.Pos()),
+				Analyzer: "walltime",
+				Message:  fmt.Sprintf("time.%s reads the wall clock in a deterministic package; inject a clock (now func() time.Time) instead", sel.Sel.Name),
+			})
+			return false
+		})
+	}
+	return diags
+}
