@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build lint lint-sarif test race race-conc fuzz bench benchall serve
+.PHONY: check vet build lint lint-sarif test race race-conc race-sim fuzz bench benchall serve
 
-check: vet build lint test race race-conc
+check: vet build lint test race race-conc race-sim
 
 vet:
 	$(GO) vet ./...
@@ -45,12 +45,20 @@ race:
 race-conc:
 	$(GO) test -race ./internal/engine ./internal/schedcache
 
+# The struct-of-arrays simulator fast path shares pooled scratch and
+# immutable kernels across the engine worker pool; this gate runs the
+# differential matrix (fast vs legacy byte-identity) and the kernel-sharing
+# campaigns under the race detector.
+race-sim:
+	$(GO) test -race ./internal/sim/... ./internal/engine/...
+
 # Short smoke runs of every fuzz target (seeds always run under plain
 # `go test`; this explores a little beyond them).
 fuzz:
 	$(GO) test -fuzz FuzzDecodeSchedule -fuzztime 10s .
 	$(GO) test -fuzz FuzzScheduleFromSlotSets -fuzztime 10s .
 	$(GO) test -fuzz FuzzCacheGet -fuzztime 10s ./internal/schedcache
+	$(GO) test -fuzz FuzzSimEquivalence -fuzztime 10s ./internal/sim
 
 # Benchmarks with -benchmem, captured as the machine-readable perf
 # trajectory: BENCH_engine.json (serial-vs-parallel Workers1/WorkersMax
@@ -65,6 +73,8 @@ bench:
 		| $(GO) run ./cmd/ttdcbench -o BENCH_engine.json
 	$(GO) test -run xxx -bench . -benchmem -benchtime 1s ./internal/core \
 		| $(GO) run ./cmd/ttdcbench -o BENCH_core.json
+	$(GO) test -run xxx -bench . -benchmem -benchtime 1s ./internal/sim \
+		| $(GO) run ./cmd/ttdcbench -o BENCH_sim.json
 
 # One pass over every package's benchmarks, for spot checks.
 benchall:

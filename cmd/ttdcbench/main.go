@@ -164,6 +164,7 @@ func parseBenchLine(line string) (Benchmark, bool) {
 var speedupPairs = []struct{ base, comp string }{
 	{"Workers1", "WorkersMax"}, // engine serial vs worker pool
 	{"Naive", "Prefix"},        // core naive scan vs prefix-cached kernel
+	{"Legacy", "Fast"},         // sim reference loop vs struct-of-arrays path
 }
 
 // deriveSpeedups pairs benchmarks whose names differ only by a recognized

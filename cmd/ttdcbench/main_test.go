@@ -26,6 +26,14 @@ BenchmarkCheckRequirement3N31D3Naive  	     416	   2869913 ns/op	   10168 B/op	 
 BenchmarkCheckRequirement3N31D3Prefix-8 	    2794	    447110 ns/op	    3912 B/op	      46 allocs/op
 PASS
 ok  	repro/internal/core	5.151s
+goos: linux
+goarch: amd64
+pkg: repro/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSaturationCampaignLegacy 	       5	 240000000 ns/op
+BenchmarkSaturationCampaignFast-8 	     500	   2400000 ns/op
+PASS
+ok  	repro/internal/sim	3.1s
 `
 
 func TestParseAndDerive(t *testing.T) {
@@ -40,8 +48,8 @@ func TestParseAndDerive(t *testing.T) {
 	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
 		t.Errorf("header = %+v", doc)
 	}
-	if len(doc.Benchmarks) != 7 {
-		t.Fatalf("parsed %d benchmarks, want 7", len(doc.Benchmarks))
+	if len(doc.Benchmarks) != 9 {
+		t.Fatalf("parsed %d benchmarks, want 9", len(doc.Benchmarks))
 	}
 	// The -8 suffix is stripped; memory columns survive.
 	if doc.Benchmarks[1].Name != "BenchmarkCampaignWorkersMax" || doc.Benchmarks[1].BytesPerOp != 571296 {
@@ -51,7 +59,7 @@ func TestParseAndDerive(t *testing.T) {
 	if doc.Benchmarks[4].NsPerOp != 34.1 || doc.Benchmarks[4].Iterations != 50000000 {
 		t.Errorf("benchmarks[4] = %+v", doc.Benchmarks[4])
 	}
-	if len(doc.Speedups) != 3 {
+	if len(doc.Speedups) != 4 {
 		t.Fatalf("speedups = %+v", doc.Speedups)
 	}
 	if doc.Speedups[0].Name != "Campaign" || doc.Speedups[0].Speedup < 1.99 || doc.Speedups[0].Speedup > 2.01 {
@@ -64,6 +72,11 @@ func TestParseAndDerive(t *testing.T) {
 	if doc.Speedups[2].Name != "CheckRequirement3N31D3" ||
 		doc.Speedups[2].Speedup < 6.41 || doc.Speedups[2].Speedup > 6.43 {
 		t.Errorf("speedups[2] = %+v", doc.Speedups[2])
+	}
+	// The simulator Legacy/Fast pair.
+	if doc.Speedups[3].Name != "SaturationCampaign" ||
+		doc.Speedups[3].Speedup < 99 || doc.Speedups[3].Speedup > 101 {
+		t.Errorf("speedups[3] = %+v", doc.Speedups[3])
 	}
 }
 

@@ -45,6 +45,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		drift  = fs.Float64("drift", 0, "clock drift bound in ppm (0 = perfect sync)")
 		guard  = fs.Float64("guard", 0.1, "guard band as a fraction of the slot")
 		resync = fs.Int("resync", 0, "slots between resynchronizations (0 = never)")
+		legacy = fs.Bool("legacy", false, "run the slot-by-slot reference loop instead of the fast path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,7 +78,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 
 	switch *mode {
 	case "saturation":
-		res, err := ttdc.RunSaturation(g, s, *frames, ttdc.DefaultEnergy())
+		runSat := ttdc.RunSaturation
+		if *legacy {
+			runSat = ttdc.RunSaturationLegacy
+		}
+		res, err := runSat(g, s, *frames, ttdc.DefaultEnergy())
 		if err != nil {
 			return err
 		}
@@ -90,7 +95,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	case "convergecast":
 		res, err := ttdc.RunConvergecast(g, s, ttdc.ConvergecastConfig{
 			Sink: *sink, Rate: *rate, Frames: *frames, Seed: *seed,
-			Channel: channel, Clock: clock,
+			Channel: channel, Clock: clock, Legacy: *legacy,
 		})
 		if err != nil {
 			return err

@@ -95,6 +95,42 @@ func (sm *schedMemo) get(k schedKey, build func() (*ttdc.Schedule, error)) (*ttd
 	return e.s, e.err
 }
 
+// kernelKey identifies a saturation fast-path kernel: the schedule (by
+// pointer — campaign schedules are deduplicated through schedMemo, so one
+// pointer per grid point) and the topology's node count, which can differ
+// from the spec's N (grid topologies round up to a full square).
+type kernelKey struct {
+	s *ttdc.Schedule
+	n int
+}
+
+// kernelMemo shares saturation kernels across the jobs of one campaign
+// with singleflight semantics: the replications and topologies of a grid
+// point pay the kernel precomputation once, then shard their runs across
+// the worker pool against the shared immutable kernel.
+type kernelMemo struct {
+	mu sync.Mutex
+	m  map[kernelKey]*kernelEntry
+}
+
+type kernelEntry struct {
+	once sync.Once
+	k    *ttdc.SaturationKernel
+	err  error
+}
+
+func (km *kernelMemo) get(key kernelKey) (*ttdc.SaturationKernel, error) {
+	km.mu.Lock()
+	e, ok := km.m[key]
+	if !ok {
+		e = &kernelEntry{}
+		km.m[key] = e
+	}
+	km.mu.Unlock()
+	e.once.Do(func() { e.k, e.err = ttdc.NewSaturationKernel(key.s, key.n) })
+	return e.k, e.err
+}
+
 // Jobs expands the campaign and binds each spec to an executable engine
 // Job. Job i's seed is stats.DeriveSeed(c.Seed, i), so a job's result
 // depends only on the campaign seed and its own index — never on worker
@@ -108,6 +144,7 @@ func Jobs(c *Campaign, cache *schedcache.Cache) ([]Job, error) {
 	}
 	seed := c.Seed
 	memo := &schedMemo{m: make(map[schedKey]*schedEntry)}
+	kernels := &kernelMemo{m: make(map[kernelKey]*kernelEntry)}
 	jobs := make([]Job, len(specs))
 	for i, spec := range specs {
 		spec := spec
@@ -116,7 +153,7 @@ func Jobs(c *Campaign, cache *schedcache.Cache) ([]Job, error) {
 			ID:   spec.ID(),
 			Seed: jobSeed,
 			Run: func(ctx context.Context) (any, error) {
-				return executeJob(ctx, spec, jobSeed, cache, memo)
+				return executeJob(ctx, spec, jobSeed, cache, memo, kernels)
 			},
 		}
 	}
@@ -126,10 +163,10 @@ func Jobs(c *Campaign, cache *schedcache.Cache) ([]Job, error) {
 // ExecuteJob runs one grid point: build (or fetch) the schedule, build the
 // topology from the job seed, run the workload, and collect metrics.
 func ExecuteJob(ctx context.Context, spec JobSpec, seed uint64, cache *schedcache.Cache) (*Metrics, error) {
-	return executeJob(ctx, spec, seed, cache, nil)
+	return executeJob(ctx, spec, seed, cache, nil, nil)
 }
 
-func executeJob(ctx context.Context, spec JobSpec, seed uint64, cache *schedcache.Cache, memo *schedMemo) (*Metrics, error) {
+func executeJob(ctx context.Context, spec JobSpec, seed uint64, cache *schedcache.Cache, memo *schedMemo, kernels *kernelMemo) (*Metrics, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -155,7 +192,19 @@ func executeJob(ctx context.Context, spec JobSpec, seed uint64, cache *schedcach
 	m.Edges = g.EdgeCount()
 	switch spec.Workload {
 	case "saturation":
-		res, err := ttdc.RunSaturation(g, s, spec.Frames, ttdc.DefaultEnergy())
+		var res *ttdc.SaturationResult
+		if kernels != nil {
+			// Campaign path: share one kernel per (schedule, node count)
+			// across the worker pool and shard the topologies over it.
+			k, kerr := kernels.get(kernelKey{s: s, n: g.N()})
+			if kerr != nil {
+				m.Release()
+				return nil, kerr
+			}
+			res, err = k.Run(g, spec.Frames, ttdc.DefaultEnergy())
+		} else {
+			res, err = ttdc.RunSaturation(g, s, spec.Frames, ttdc.DefaultEnergy())
+		}
 		if err != nil {
 			m.Release()
 			return nil, err

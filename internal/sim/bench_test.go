@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/cff"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// The Legacy/Fast suffix pairs below are recognized by cmd/ttdcbench,
+// which derives reference-vs-SoA speedups into BENCH_sim.json on
+// `make bench` — the simulator's analogue of core's Naive/Prefix pairs.
+
+func benchPolySchedule(tb testing.TB, n, d int) *core.Schedule {
+	tb.Helper()
+	fam, err := cff.PolynomialFor(n, d)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s, err := core.ScheduleFromFamily(fam.L, fam.Sets)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+func benchGraphs(n, d int) []*topology.Graph {
+	return []*topology.Graph{
+		topology.Regularish(n, d),
+		topology.Ring(n),
+		topology.Grid(32, n/32),
+	}
+}
+
+func BenchmarkSaturationCampaignLegacy(b *testing.B) {
+	const n, d, frames = 1024, 4, 8
+	s := benchPolySchedule(b, n, d)
+	graphs := benchGraphs(n, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range graphs {
+			if _, err := RunSaturationLegacy(g, s, frames, DefaultEnergy()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSaturationCampaignFast(b *testing.B) {
+	const n, d, frames = 1024, 4, 8
+	s := benchPolySchedule(b, n, d)
+	graphs := benchGraphs(n, d)
+	k, err := NewSaturationKernel(s, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range graphs {
+			if _, err := k.Run(g, frames, DefaultEnergy()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkConvergecastGridLegacy(b *testing.B) { benchConvergecast(b, true) }
+
+func BenchmarkConvergecastGridFast(b *testing.B) { benchConvergecast(b, false) }
+
+func benchConvergecast(b *testing.B, legacy bool) {
+	b.Helper()
+	const n, d = 256, 4
+	s := benchPolySchedule(b, n, d)
+	g := topology.Grid(16, 16)
+	cfg := ConvergecastConfig{Sink: 0, Rate: 0.02, Frames: 20, Seed: 7, Legacy: legacy}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunConvergecast(g, s, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSaturationScale100k demonstrates the tentpole target: a single
+// saturation frame at n = 10^5 completes on one core. Gated behind
+// TTDC_SCALE because building the 10^5-node schedule and adjacency takes
+// gigabytes and minutes, far beyond the tier-1 budget.
+func TestSaturationScale100k(t *testing.T) {
+	if os.Getenv("TTDC_SCALE") == "" {
+		t.Skip("set TTDC_SCALE=1 to run the n=100000 scale demonstration")
+	}
+	const n, d = 100000, 4
+	start := time.Now()
+	s := benchPolySchedule(t, n, d)
+	t.Logf("schedule built: n=%d L=%d (%.1fs)", s.N(), s.L(), time.Since(start).Seconds())
+	g := topology.Regularish(n, d)
+	t.Logf("topology built: %d nodes, %d edges (%.1fs)", g.N(), g.EdgeCount(), time.Since(start).Seconds())
+	runStart := time.Now()
+	res, err := RunSaturation(g, s, 1, DefaultEnergy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(runStart)
+	t.Logf("saturation frame: min=%v avg=%v collisions=%d gap=%d in %.1fs",
+		res.MinLinkPerFrame, res.AvgLinkPerFrame, res.CollisionSlots, res.MaxInterDeliveryGap, elapsed.Seconds())
+	if res.AvgLinkPerFrame <= 0 {
+		t.Fatal("scale run delivered nothing")
+	}
+	if elapsed > 10*time.Minute {
+		t.Fatalf("n=100000 frame took %v, want minutes on one core", elapsed)
+	}
+}

@@ -51,6 +51,12 @@ type ConvergecastConfig struct {
 	// transmissions, deliveries, collisions, drops) for debugging and
 	// post-mortem analysis.
 	Tracer trace.Tracer
+	// Legacy forces the per-node reference loop even where the
+	// struct-of-arrays fast path applies (schedule-driven MAC, ideal
+	// channel, perfect sync, no tracer). The zero value — fast path on —
+	// is safe because the two paths are pinned byte-identical by the
+	// differential tests in this package.
+	Legacy bool
 }
 
 // TrafficPhase is one segment of a time-varying load pattern.
@@ -102,6 +108,57 @@ func RunConvergecast(g *topology.Graph, s *core.Schedule, cfg ConvergecastConfig
 	return RunConvergecastProtocol(g, ScheduleProtocol{S: s}, cfg)
 }
 
+// rateFunc builds the slot→rate map of a run: constant cfg.Rate, or the
+// cycling phase pattern when Phases is set.
+func rateFunc(cfg *ConvergecastConfig) (func(slot int) float64, error) {
+	phaseLen := 0
+	for _, ph := range cfg.Phases {
+		if ph.Slots < 1 || ph.Rate < 0 {
+			return nil, fmt.Errorf("sim: invalid traffic phase %+v", ph)
+		}
+		phaseLen += ph.Slots
+	}
+	phases := cfg.Phases
+	rate := cfg.Rate
+	return func(slot int) float64 {
+		if phaseLen == 0 {
+			return rate
+		}
+		t := slot % phaseLen
+		for _, ph := range phases {
+			if t < ph.Slots {
+				return ph.Rate
+			}
+			t -= ph.Slots
+		}
+		return 0 // unreachable
+	}, nil
+}
+
+// finishConvergecast derives the energy and ratio fields every convergecast
+// run reports from the per-node integer role census. Shared between the
+// legacy loop and the fast path so the derived floats are structurally
+// identical (see energyFromCounts).
+func finishConvergecast(res *ConvergecastResult, em EnergyModel, txSlots, rxSlots []int, totalSlots int) {
+	n := len(txSlots)
+	awake := 0
+	for v := 0; v < n; v++ {
+		e := energyFromCounts(em, txSlots[v], rxSlots[v], totalSlots-txSlots[v]-rxSlots[v])
+		res.EnergyPerNode[v] = e
+		res.TotalEnergy += e
+		awake += txSlots[v] + rxSlots[v]
+	}
+	if res.Delivered > 0 {
+		res.EnergyPerDelivered = res.TotalEnergy / float64(res.Delivered)
+	}
+	if res.Generated > 0 {
+		res.DeliveryRatio = float64(res.Delivered) / float64(res.Generated)
+	} else {
+		res.DeliveryRatio = 1
+	}
+	res.ActiveFraction = float64(awake) / float64(n*totalSlots)
+}
+
 // RunConvergecastProtocol simulates Poisson data collection toward a sink.
 // Routing uses a BFS tree of g rooted at the sink; each node forwards its
 // queue head to its parent whenever the protocol gives it a transmit slot
@@ -111,6 +168,11 @@ func RunConvergecast(g *topology.Graph, s *core.Schedule, cfg ConvergecastConfig
 // immediately — an idealized acknowledgment — and retransmit otherwise).
 //
 // The topology must be connected so every node has a route to the sink.
+//
+// When the protocol is the schedule-driven MAC and the run uses the paper's
+// ideal channel with perfect synchronization and no tracer, the run takes
+// the struct-of-arrays fast path unless cfg.Legacy forces the reference
+// loop; the two paths are byte-identical (see difftest_test.go).
 func RunConvergecastProtocol(g *topology.Graph, proto Protocol, cfg ConvergecastConfig) (*ConvergecastResult, error) {
 	n := g.N()
 	if cfg.Sink < 0 || cfg.Sink >= n {
@@ -146,6 +208,23 @@ func RunConvergecastProtocol(g *topology.Graph, proto Protocol, cfg Convergecast
 			return nil, err
 		}
 	}
+	rateAt, err := rateFunc(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	if sp, ok := proto.(ScheduleProtocol); ok && !cfg.Legacy &&
+		cfg.Channel.ideal() && cfg.Clock == nil && cfg.Tracer == nil {
+		return runConvergecastFast(g, sp, cfg, parent, maxQ, em, rateAt)
+	}
+	return runConvergecastLegacy(g, proto, cfg, parent, maxQ, em, clock, rateAt)
+}
+
+// runConvergecastLegacy is the original per-node, per-slot reference loop.
+// It handles every protocol and channel extension; the fast path handles
+// the paper's core model and is pinned byte-identical to this loop there.
+func runConvergecastLegacy(g *topology.Graph, proto Protocol, cfg ConvergecastConfig,
+	parent []int, maxQ int, em EnergyModel, clock *clockState, rateAt func(int) float64) (*ConvergecastResult, error) {
+	n := g.N()
 	rng := stats.NewRNG(cfg.Seed)
 	target, _ := proto.(TargetAware)
 
@@ -155,29 +234,8 @@ func RunConvergecastProtocol(g *topology.Graph, proto Protocol, cfg Convergecast
 	L := proto.FrameLen()
 	totalSlots := (cfg.WarmupFrames + cfg.Frames) * L
 	warmupSlots := cfg.WarmupFrames * L
-	awake := 0
-
-	// Time-varying load support.
-	phaseLen := 0
-	for _, ph := range cfg.Phases {
-		if ph.Slots < 1 || ph.Rate < 0 {
-			return nil, fmt.Errorf("sim: invalid traffic phase %+v", ph)
-		}
-		phaseLen += ph.Slots
-	}
-	rateAt := func(slot int) float64 {
-		if phaseLen == 0 {
-			return cfg.Rate
-		}
-		t := slot % phaseLen
-		for _, ph := range cfg.Phases {
-			if t < ph.Slots {
-				return ph.Rate
-			}
-			t -= ph.Slots
-		}
-		return 0 // unreachable
-	}
+	txSlots := make([]int, n)
+	rxSlots := make([]int, n)
 
 	roles := make([]core.Role, n)
 	transmitTo := make([]int, n) // -1 = silent this slot
@@ -229,13 +287,11 @@ func RunConvergecastProtocol(g *topology.Graph, proto Protocol, cfg Convergecast
 					cfg.Tracer.Record(trace.Event{Slot: slot, Kind: trace.Transmit, Node: v, Peer: parent[v]})
 				}
 			}
-			isTx := transmitTo[v] >= 0
-			rx := roles[v] == core.Receive
-			e := em.slotEnergy(isTx, rx)
-			res.TotalEnergy += e
-			res.EnergyPerNode[v] += e
-			if isTx || rx {
-				awake++
+			switch {
+			case transmitTo[v] >= 0:
+				txSlots[v]++
+			case roles[v] == core.Receive:
+				rxSlots[v]++
 			}
 		}
 		// Resolve receptions.
@@ -298,15 +354,7 @@ func RunConvergecastProtocol(g *topology.Graph, proto Protocol, cfg Convergecast
 	for v := 0; v < n; v++ {
 		res.InFlight += len(queues[v])
 	}
-	if res.Delivered > 0 {
-		res.EnergyPerDelivered = res.TotalEnergy / float64(res.Delivered)
-	}
-	if res.Generated > 0 {
-		res.DeliveryRatio = float64(res.Delivered) / float64(res.Generated)
-	} else {
-		res.DeliveryRatio = 1
-	}
-	res.ActiveFraction = float64(awake) / float64(n*totalSlots)
+	finishConvergecast(res, em, txSlots, rxSlots, totalSlots)
 	return res, nil
 }
 

@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// This file pins the struct-of-arrays fast paths byte-identical to the
+// legacy reference loops: every field of every result struct — including
+// the float-valued rates, energies, and latency summaries — must satisfy
+// reflect.DeepEqual, not a tolerance. The identity holds because both
+// paths derive all floats through the shared integer-census finalizers
+// (finishSaturation, finishConvergecast) and consume the arrival RNG in
+// the same order; a tolerance here would hide a broken pinning contract.
+
+// dutySchedule builds an (alphaT, alphaR) duty-cycled schedule via the
+// Figure 2 construction from the polynomial cover-free family.
+func dutySchedule(t *testing.T, n, d, alphaT, alphaR int) *core.Schedule {
+	t.Helper()
+	ns := polySchedule(t, n, d)
+	s, err := core.Construct(ns, core.ConstructOptions{AlphaT: alphaT, AlphaR: alphaR, D: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// diffTopologies returns the topology matrix for a given node count.
+func diffTopologies(t *testing.T, n int) map[string]*topology.Graph {
+	t.Helper()
+	rng := stats.NewRNG(77)
+	rows := 2
+	return map[string]*topology.Graph{
+		"ring":    topology.Ring(n),
+		"line":    topology.Line(n),
+		"star":    topology.Star(n),
+		"grid":    topology.Grid(rows, (n+rows-1)/rows),
+		"regular": topology.Regularish(n, 4),
+		"random":  topology.RandomBoundedDegree(n, 4, n/2, rng),
+	}
+}
+
+func assertSaturationIdentical(t *testing.T, g *topology.Graph, s *core.Schedule, frames int, em EnergyModel) {
+	t.Helper()
+	fast, errFast := RunSaturation(g, s, frames, em)
+	legacy, errLegacy := RunSaturationLegacy(g, s, frames, em)
+	if (errFast == nil) != (errLegacy == nil) {
+		t.Fatalf("error disagreement: fast=%v legacy=%v", errFast, errLegacy)
+	}
+	if errFast != nil {
+		if errFast.Error() != errLegacy.Error() {
+			t.Fatalf("error text disagreement: fast=%q legacy=%q", errFast, errLegacy)
+		}
+		return
+	}
+	if !reflect.DeepEqual(fast, legacy) {
+		t.Fatalf("saturation fast path diverged from legacy:\nfast:   %+v\nlegacy: %+v", fast, legacy)
+	}
+}
+
+func assertConvergecastIdentical(t *testing.T, g *topology.Graph, s *core.Schedule, cfg ConvergecastConfig) {
+	t.Helper()
+	cfg.Legacy = false
+	fast, errFast := RunConvergecast(g, s, cfg)
+	cfg.Legacy = true
+	legacy, errLegacy := RunConvergecast(g, s, cfg)
+	if (errFast == nil) != (errLegacy == nil) {
+		t.Fatalf("error disagreement: fast=%v legacy=%v", errFast, errLegacy)
+	}
+	if errFast != nil {
+		if errFast.Error() != errLegacy.Error() {
+			t.Fatalf("error text disagreement: fast=%q legacy=%q", errFast, errLegacy)
+		}
+		return
+	}
+	if !reflect.DeepEqual(fast, legacy) {
+		t.Fatalf("convergecast fast path diverged from legacy:\nfast:   %+v\nlegacy: %+v", fast, legacy)
+	}
+}
+
+// TestSaturationDifferentialMatrix sweeps workload × topology class ×
+// schedule construction (including duty points) × frame count, asserting
+// field-for-field identity — MaxInterDeliveryGap and CollisionSlots
+// included — between the kernel fast path and the legacy loop.
+func TestSaturationDifferentialMatrix(t *testing.T) {
+	const n = 12
+	schedules := map[string]*core.Schedule{
+		"tdma":     tdmaSchedule(t, n),
+		"poly-d2":  polySchedule(t, n, 2),
+		"duty-2-3": dutySchedule(t, n, 2, 2, 3),
+		"duty-3-5": dutySchedule(t, n, 3, 3, 5),
+	}
+	for sname, s := range schedules {
+		for gname, g := range diffTopologies(t, n) {
+			for _, frames := range []int{1, 3} {
+				t.Run(fmt.Sprintf("%s/%s/frames=%d", sname, gname, frames), func(t *testing.T) {
+					assertSaturationIdentical(t, g, s, frames, DefaultEnergy())
+				})
+			}
+		}
+	}
+}
+
+// TestConvergecastDifferentialMatrix sweeps the traffic knobs — rate, queue
+// bound, warmup, phase cycling, seed — across topology classes and duty
+// points, asserting the Legacy toggle changes nothing, bit for bit.
+func TestConvergecastDifferentialMatrix(t *testing.T) {
+	const n = 12
+	schedules := map[string]*core.Schedule{
+		"tdma":     tdmaSchedule(t, n),
+		"poly-d2":  polySchedule(t, n, 2),
+		"duty-2-3": dutySchedule(t, n, 2, 2, 3),
+	}
+	configs := map[string]ConvergecastConfig{
+		"base":    {Sink: 0, Rate: 0.3, Frames: 4, Seed: 1},
+		"seed2":   {Sink: 0, Rate: 0.3, Frames: 4, Seed: 2},
+		"sink3":   {Sink: 3, Rate: 0.5, Frames: 3, Seed: 5},
+		"queue1":  {Sink: 0, Rate: 0.9, Frames: 4, MaxQueue: 1, Seed: 3},
+		"warmup":  {Sink: 0, Rate: 0.4, Frames: 3, WarmupFrames: 2, Seed: 4},
+		"hotrate": {Sink: 0, Rate: 2.0, Frames: 3, MaxQueue: 2, Seed: 6},
+		"phases": {Sink: 0, Frames: 5, Seed: 7,
+			Phases: []TrafficPhase{{Slots: 3, Rate: 1.5}, {Slots: 2, Rate: 0}, {Slots: 4, Rate: 0.2}}},
+	}
+	for sname, s := range schedules {
+		for gname, g := range diffTopologies(t, n) {
+			for cname, cfg := range configs {
+				t.Run(fmt.Sprintf("%s/%s/%s", sname, gname, cname), func(t *testing.T) {
+					assertConvergecastIdentical(t, g, s, cfg)
+				})
+			}
+		}
+	}
+}
+
+// TestSaturationKernelReuse shares one kernel across topologies of the same
+// node count — the campaign usage pattern — and checks each run still
+// matches the legacy loop, i.e. no per-run state leaks through the kernel
+// or the pooled scratch.
+func TestSaturationKernelReuse(t *testing.T) {
+	const n = 10
+	s := polySchedule(t, n, 2)
+	k, err := NewSaturationKernel(s, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := []*topology.Graph{
+		topology.Ring(n),
+		topology.Star(n),
+		topology.Regularish(n, 4),
+		topology.Ring(n), // repeat: pooled scratch must be fully reset
+	}
+	for i, g := range graphs {
+		fast, err := k.Run(g, 2, DefaultEnergy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := RunSaturationLegacy(g, s, 2, DefaultEnergy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fast, legacy) {
+			t.Fatalf("run %d: shared kernel diverged from legacy:\nfast:   %+v\nlegacy: %+v", i, fast, legacy)
+		}
+	}
+	if k.N() != n {
+		t.Fatalf("kernel N = %d, want %d", k.N(), n)
+	}
+}
+
+// TestSaturationKernelErrors pins the kernel's validation to the legacy
+// loop's error surface.
+func TestSaturationKernelErrors(t *testing.T) {
+	s := tdmaSchedule(t, 4)
+	if _, err := NewSaturationKernel(s, 0); err == nil {
+		t.Fatal("want error for n = 0")
+	}
+	if _, err := NewSaturationKernel(s, 5); err == nil {
+		t.Fatal("want error for n > schedule universe")
+	}
+	k, err := NewSaturationKernel(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(topology.Ring(4), 1, DefaultEnergy()); err == nil {
+		t.Fatal("want error for mismatched graph size")
+	}
+	if _, err := k.Run(topology.Ring(3), 0, DefaultEnergy()); err == nil {
+		t.Fatal("want error for frames = 0")
+	}
+	// The wrapper must agree with the legacy loop on bad inputs too.
+	assertSaturationIdentical(t, topology.Ring(5), s, 1, DefaultEnergy())
+	assertSaturationIdentical(t, topology.Ring(3), s, 0, DefaultEnergy())
+}
+
+// fuzzSchedule decodes 2 bits per (node, slot) into a schedule: 1 →
+// transmit, 2 → receive, 0/3 → sleep. Disjointness is structural, so
+// FromSets always accepts.
+func fuzzSchedule(n, l int, bits []byte) (*core.Schedule, error) {
+	ts := make([]*bitset.Set, l)
+	rs := make([]*bitset.Set, l)
+	for i := 0; i < l; i++ {
+		ts[i] = bitset.New(n)
+		rs[i] = bitset.New(n)
+	}
+	for v := 0; v < n; v++ {
+		for i := 0; i < l; i++ {
+			idx := v*l + i
+			var b byte
+			if len(bits) > 0 {
+				b = bits[(idx/4)%len(bits)] >> uint((idx%4)*2) & 3
+			}
+			switch b {
+			case 1:
+				ts[i].Add(v)
+			case 2:
+				rs[i].Add(v)
+			}
+		}
+	}
+	return core.FromSets(n, ts, rs)
+}
+
+// fuzzGraph builds a connected graph: a spanning line plus extra edges
+// drawn from the seed.
+func fuzzGraph(n, extra int, seed uint64) *topology.Graph {
+	g := topology.NewGraph(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v-1, v)
+	}
+	rng := stats.NewRNG(seed)
+	for e := 0; e < extra; e++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// FuzzSimEquivalence feeds random small (topology, schedule, traffic)
+// triples to both simulator paths and requires byte-identical results.
+func FuzzSimEquivalence(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{5, 2, 11, 3, 0x1b, 0x6c, 0x9e, 0x27})
+	f.Add([]byte{9, 5, 200, 9, 0xff, 0x00, 0x55, 0xaa, 0x12})
+	f.Add([]byte{3, 1, 42, 250, 0x99, 0x42})
+	f.Add([]byte{7, 3, 77, 128, 0x24, 0x8d, 0xe1, 0x5a, 0x36, 0x6d})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		n := 3 + int(data[0])%10 // 3..12
+		l := 1 + int(data[1])%6  // 1..6
+		seed := uint64(data[2])
+		extra := int(data[3]) % 8
+		s, err := fuzzSchedule(n, l, data[4:])
+		if err != nil {
+			t.Fatalf("fuzzSchedule: %v", err)
+		}
+		g := fuzzGraph(n, extra, seed)
+		frames := 1 + int(data[2])%3
+		assertSaturationIdentical(t, g, s, frames, DefaultEnergy())
+		cfg := ConvergecastConfig{
+			Sink:         int(data[3]) % n,
+			Rate:         0.2 + float64(data[0]%4)*0.4,
+			Frames:       2,
+			MaxQueue:     int(data[1]) % 3, // 0 means the 64 default
+			WarmupFrames: int(data[2]) % 2,
+			Seed:         seed,
+		}
+		assertConvergecastIdentical(t, g, s, cfg)
+	})
+}

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSlotEnergyPrecedence(t *testing.T) {
+	em := EnergyModel{TxPower: 3, RxPower: 5, SleepPower: 7, SlotSeconds: 2}
+	// Transmit wins when both flags are set (a radio cannot do both; the
+	// simulator encodes tx-precedence, matching core.RoleOf).
+	if got := em.slotEnergy(true, true); got != 6 {
+		t.Fatalf("slotEnergy(tx, rx) = %v, want tx price 6", got)
+	}
+	if got := em.slotEnergy(false, true); got != 10 {
+		t.Fatalf("slotEnergy(rx) = %v, want 10", got)
+	}
+	if got := em.slotEnergy(false, false); got != 14 {
+		t.Fatalf("slotEnergy(sleep) = %v, want 14", got)
+	}
+}
+
+func TestDefaultEnergyValues(t *testing.T) {
+	em := DefaultEnergy()
+	want := EnergyModel{TxPower: 0.0522, RxPower: 0.0564, SleepPower: 0.000003, SlotSeconds: 0.010}
+	if em != want {
+		t.Fatalf("DefaultEnergy() = %+v, want %+v", em, want)
+	}
+}
+
+// TestEnergyFromCountsMatchesSlotEnergy ties the census-based pricing the
+// fast and legacy paths share to the per-slot model: the two formulations
+// must agree to float tolerance on an arbitrary census.
+func TestEnergyFromCountsMatchesSlotEnergy(t *testing.T) {
+	em := DefaultEnergy()
+	const tx, rx, sleep = 13, 29, 58
+	want := 0.0
+	for i := 0; i < tx; i++ {
+		want += em.slotEnergy(true, false)
+	}
+	for i := 0; i < rx; i++ {
+		want += em.slotEnergy(false, true)
+	}
+	for i := 0; i < sleep; i++ {
+		want += em.slotEnergy(false, false)
+	}
+	got := energyFromCounts(em, tx, rx, sleep)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("energyFromCounts = %v, slot-by-slot sum = %v", got, want)
+	}
+}

@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// ccFastScratch is the pooled working state of the convergecast fast path.
+// The role words are struct-of-arrays rows: txElig[i*nw:(i+1)*nw] is the
+// n-bit set of nodes that would transmit in frame-slot i if they had
+// traffic, rxRole likewise the nodes in the Receive role.
+type ccFastScratch struct {
+	txElig, rxRole []uint64 // L rows of nw words each
+	hasTraffic     []uint64 // nodes with a non-empty queue
+	rxTouched      []uint64 // receivers with ≥1 transmitting neighbour this slot
+	nSenders       []int32  // transmitting-neighbour count per receiver this slot
+	sender         []int32  // some transmitting neighbour (the sender when count is 1)
+	touched        []int32  // receivers to reset after the slot
+	txCnt, rxCnt   []int    // whole-run role census per node
+	arrivedAt      []int    // slot when the queue-head arrived at this hop
+	queues         [][]Packet
+}
+
+var ccFastPool = sync.Pool{New: func() any { return new(ccFastScratch) }}
+
+// reset sizes the scratch for n nodes, frame length l, and nw-word node
+// rows, and clears everything that must start zeroed.
+func (sc *ccFastScratch) reset(n, l, nw int) {
+	if cap(sc.txElig) < l*nw {
+		sc.txElig = make([]uint64, l*nw)
+		sc.rxRole = make([]uint64, l*nw)
+	}
+	sc.txElig = sc.txElig[:l*nw]
+	sc.rxRole = sc.rxRole[:l*nw]
+	for i := range sc.txElig {
+		sc.txElig[i] = 0
+	}
+	if cap(sc.hasTraffic) < nw {
+		sc.hasTraffic = make([]uint64, nw)
+		sc.rxTouched = make([]uint64, nw)
+	}
+	sc.hasTraffic = sc.hasTraffic[:nw]
+	sc.rxTouched = sc.rxTouched[:nw]
+	for i := range sc.hasTraffic {
+		sc.hasTraffic[i] = 0
+		sc.rxTouched[i] = 0
+	}
+	if cap(sc.nSenders) < n {
+		sc.nSenders = make([]int32, n)
+		sc.sender = make([]int32, n)
+		sc.txCnt = make([]int, n)
+		sc.rxCnt = make([]int, n)
+		sc.arrivedAt = make([]int, n)
+		sc.queues = make([][]Packet, n)
+	}
+	sc.nSenders = sc.nSenders[:n]
+	sc.sender = sc.sender[:n]
+	sc.txCnt = sc.txCnt[:n]
+	sc.rxCnt = sc.rxCnt[:n]
+	sc.arrivedAt = sc.arrivedAt[:n]
+	sc.queues = sc.queues[:n]
+	for v := 0; v < n; v++ {
+		sc.nSenders[v] = 0
+		sc.txCnt[v] = 0
+		sc.queues[v] = sc.queues[v][:0]
+	}
+	sc.touched = sc.touched[:0]
+}
+
+// runConvergecastFast is the struct-of-arrays convergecast loop for the
+// schedule-driven MAC under the paper's core model (ideal channel, perfect
+// synchronization, no tracer). It replays the legacy loop's semantics
+// exactly — including the arrival RNG stream and the ascending-receiver
+// order that fixes the latency Summary contents — but resolves each slot
+// sparsely: transmitter candidates come from one word-AND of the traffic
+// set with the precomputed per-slot eligibility row, and only receivers
+// actually hearing a transmission are visited. The ideal channel draws no
+// randomness, so the RNG is consumed by packet generation alone, in the
+// same (node, slot) order as the reference loop.
+func runConvergecastFast(g *topology.Graph, sp ScheduleProtocol, cfg ConvergecastConfig,
+	parent []int, maxQ int, em EnergyModel, rateAt func(int) float64) (*ConvergecastResult, error) {
+	n := g.N()
+	s := sp.S
+	L := s.L()
+	nw := (n + wordBits - 1) / wordBits
+	rng := stats.NewRNG(cfg.Seed)
+	res := &ConvergecastResult{Protocol: sp.Name(), EnergyPerNode: make([]float64, n)}
+	totalSlots := (cfg.WarmupFrames + cfg.Frames) * L
+	warmupSlots := cfg.WarmupFrames * L
+
+	sc := ccFastPool.Get().(*ccFastScratch)
+	defer ccFastPool.Put(sc)
+	sc.reset(n, L, nw)
+
+	// Per-frame-slot role rows. RoleOf gives Transmit precedence, so the
+	// Receive-role set of slot i is R[i] \ T[i], masked to the graph's n
+	// nodes (the schedule universe may be larger).
+	lastMask := ^uint64(0)
+	if r := n % wordBits; r != 0 {
+		lastMask = (uint64(1) << uint(r)) - 1
+	}
+	for i := 0; i < L; i++ {
+		tW := s.T(i).Words()
+		rW := s.R(i).Words()
+		row := sc.rxRole[i*nw : (i+1)*nw]
+		for j := 0; j < nw; j++ {
+			row[j] = rW[j] &^ tW[j]
+		}
+		row[nw-1] &= lastMask
+	}
+	// txElig[i] holds v ≠ sink with v ∈ T[i] and parent[v] ∈ R[i] \ T[i]:
+	// exactly the nodes for which the legacy loop's wantTx survives the
+	// ShouldTransmit gate and Role returns Transmit. The Receive role is
+	// independent of traffic, so each node's whole-run receive census is
+	// |recv(v) \ tran(v)| per frame, fixed at build time.
+	for v := 0; v < n; v++ {
+		tw := s.Tran(v).Words()
+		rw := s.Recv(v).Words()
+		rx := 0
+		for j := range rw {
+			rx += bits.OnesCount64(rw[j] &^ tw[j])
+		}
+		sc.rxCnt[v] = rx * (cfg.WarmupFrames + cfg.Frames)
+		if v == cfg.Sink {
+			continue
+		}
+		p := parent[v]
+		s.Tran(v).ForEach(func(i int) bool {
+			if sc.rxRole[i*nw+p>>6]>>uint(p&63)&1 == 1 {
+				sc.txElig[i*nw+v>>6] |= uint64(1) << uint(v&63)
+			}
+			return true
+		})
+	}
+
+	queues := sc.queues
+	for slot := 0; slot < totalSlots; slot++ {
+		measuring := slot >= warmupSlots
+		rate := rateAt(slot)
+		// Packet generation: identical control flow (and RNG consumption) to
+		// the legacy loop.
+		if rate > 0 {
+			for v := 0; v < n; v++ {
+				if v == cfg.Sink {
+					continue
+				}
+				for k := poissonDraw(rng, rate); k > 0; k-- {
+					if measuring {
+						res.Generated++
+					}
+					if len(queues[v]) >= maxQ {
+						if measuring {
+							res.Dropped++
+						}
+						continue
+					}
+					if len(queues[v]) == 0 {
+						sc.arrivedAt[v] = slot
+						sc.hasTraffic[v>>6] |= uint64(1) << uint(v&63)
+					}
+					queues[v] = append(queues[v], Packet{Origin: v, Created: slot})
+				}
+			}
+		}
+		i := slot % L
+		elig := sc.txElig[i*nw : (i+1)*nw]
+		rxRow := sc.rxRole[i*nw : (i+1)*nw]
+		touched := sc.touched[:0]
+		// Transmitters this slot: traffic ∧ eligibility, one AND per word.
+		// Scatter each onto its Receive-role neighbours to count per-receiver
+		// contention.
+		for j := 0; j < nw; j++ {
+			w := sc.hasTraffic[j] & elig[j]
+			for w != 0 {
+				v := j*wordBits + bits.TrailingZeros64(w)
+				w &= w - 1
+				sc.txCnt[v]++
+				g.NeighborSet(v).ForEach(func(u int) bool {
+					if rxRow[u>>6]>>uint(u&63)&1 == 0 {
+						return true
+					}
+					if sc.nSenders[u] == 0 {
+						sc.rxTouched[u>>6] |= uint64(1) << uint(u&63)
+						touched = append(touched, int32(u))
+					}
+					sc.nSenders[u]++
+					sc.sender[u] = int32(v)
+					return true
+				})
+			}
+		}
+		sc.touched = touched
+		// Resolve receptions in ascending receiver order — the order that
+		// fixes the legacy loop's Summary contents.
+		for j := 0; j < nw; j++ {
+			w := sc.rxTouched[j]
+			for w != 0 {
+				u := j*wordBits + bits.TrailingZeros64(w)
+				w &= w - 1
+				if sc.nSenders[u] >= 2 {
+					if measuring {
+						res.Collisions++
+					}
+					continue
+				}
+				sdr := int(sc.sender[u])
+				if parent[sdr] != u {
+					continue // overheard a hop addressed to another parent
+				}
+				pkt := queues[sdr][0]
+				queues[sdr] = queues[sdr][1:]
+				if measuring {
+					res.HopLatency.Add(float64(slot - sc.arrivedAt[sdr] + 1))
+				}
+				if len(queues[sdr]) > 0 {
+					sc.arrivedAt[sdr] = slot + 1
+				} else {
+					sc.hasTraffic[sdr>>6] &^= uint64(1) << uint(sdr&63)
+				}
+				if u == cfg.Sink {
+					if measuring {
+						res.Delivered++
+						res.Latency.Add(float64(slot - pkt.Created + 1))
+					}
+				} else if len(queues[u]) < maxQ {
+					if len(queues[u]) == 0 {
+						sc.arrivedAt[u] = slot + 1
+						sc.hasTraffic[u>>6] |= uint64(1) << uint(u&63)
+					}
+					queues[u] = append(queues[u], pkt)
+				} else if measuring {
+					res.Dropped++
+				}
+			}
+		}
+		for _, u := range sc.touched {
+			sc.nSenders[u] = 0
+			sc.rxTouched[u>>6] &^= uint64(1) << uint(u&63)
+		}
+	}
+	for v := 0; v < n; v++ {
+		res.InFlight += len(queues[v])
+	}
+	finishConvergecast(res, em, sc.txCnt, sc.rxCnt, totalSlots)
+	return res, nil
+}

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+const wordBits = 64
+
+// energyFromCounts prices a node-slot census under an energy model. Both the
+// legacy reference loops and the SoA fast paths compute radio energy through
+// this one expression, from identical integer counters, which is what makes
+// the energy fields of their results byte-identical rather than merely close:
+// float addition is not associative, so the two paths must not accumulate
+// per-slot terms in different orders.
+func energyFromCounts(em EnergyModel, tx, rx, sleep int) float64 {
+	return float64(tx)*em.TxPower*em.SlotSeconds +
+		float64(rx)*em.RxPower*em.SlotSeconds +
+		float64(sleep)*em.SleepPower*em.SlotSeconds
+}
+
+// finishSaturation derives every reported field of res from the integer core
+// of a saturation run: whole-run delivery counts per directed link in u-major
+// order (u ascending, then v ascending within Neighbors(u)), and whole-run
+// transmit-role / receive-role node-slot counts. The legacy loop and the fast
+// path both end here, so the derived floats (per-frame rates, throughputs,
+// energy, active fraction) are structurally identical between them.
+func finishSaturation(res *SaturationResult, g *topology.Graph, em EnergyModel, linkCounts []int, txSlots, rxSlots int) {
+	n := g.N()
+	frames, L := res.Frames, res.SlotsPerFrame
+	delivered := make(map[int]map[int]int, n)
+	totalLinks := 0
+	totalDeliveries := 0
+	minPerFrame := -1.0
+	id := 0
+	for u := 0; u < n; u++ {
+		delivered[u] = make(map[int]int)
+		g.NeighborSet(u).ForEach(func(v int) bool {
+			d := linkCounts[id]
+			id++
+			if d > 0 {
+				delivered[u][v] = d
+			}
+			totalLinks++
+			totalDeliveries += d
+			perFrame := float64(d) / float64(frames)
+			if minPerFrame < 0 || perFrame < minPerFrame {
+				minPerFrame = perFrame
+			}
+			return true
+		})
+	}
+	res.Delivered = delivered
+	if totalLinks > 0 {
+		res.MinLinkPerFrame = minPerFrame
+		res.AvgLinkPerFrame = float64(totalDeliveries) / float64(totalLinks) / float64(frames)
+		res.MinLinkThroughput = res.MinLinkPerFrame / float64(L)
+		res.AvgLinkThroughput = res.AvgLinkPerFrame / float64(L)
+	}
+	res.TotalEnergy = energyFromCounts(em, txSlots, rxSlots, n*L*frames-txSlots-rxSlots)
+	if totalDeliveries > 0 {
+		res.EnergyPerDelivery = res.TotalEnergy / float64(totalDeliveries)
+	} else {
+		res.EnergyPerDelivery = 0
+		if res.TotalEnergy > 0 {
+			res.EnergyPerDelivery = res.TotalEnergy // degenerate; callers inspect deliveries
+		}
+	}
+	res.ActiveFraction = float64(txSlots+rxSlots) / float64(n*L*frames)
+}
+
+// SaturationKernel is the topology-independent precomputation of the
+// saturation fast path: per-node transmit-slot words, receive-role slot
+// words (recv \ tran — RoleOf gives Transmit precedence), and the per-frame
+// role census. A kernel is a pure function of (schedule, n); it is immutable
+// after construction and safe for concurrent Run calls, so a campaign can
+// build it once per grid point and share it across every replication's
+// topology on the engine worker pool.
+type SaturationKernel struct {
+	s  *core.Schedule
+	n  int
+	l  int
+	lw int // words per L-bit slot row
+	// tran[u] aliases the schedule's tran(u) backing words (read-only).
+	tran [][]uint64
+	// rxOnly is the flat n×lw struct-of-arrays row block: rxOnly[u*lw:(u+1)*lw]
+	// holds recv(u) &^ tran(u), the slots in which u has the Receive role.
+	rxOnly []uint64
+	// txPerFrame and rxPerFrame are Σ_u |tran(u)| and Σ_u |recv(u) \ tran(u)|:
+	// the per-frame node-slot role census that prices energy and duty cycle.
+	txPerFrame, rxPerFrame int
+}
+
+// NewSaturationKernel precomputes the fast-path state for saturation runs of
+// schedule s over graphs on exactly n nodes (n may be smaller than the
+// schedule's universe; the extra schedule nodes exist in no topology and are
+// ignored, as in the legacy loop).
+func NewSaturationKernel(s *core.Schedule, n int) (*SaturationKernel, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sim: kernel needs n >= 1, got %d", n)
+	}
+	if n > s.N() {
+		return nil, fmt.Errorf("sim: graph has %d nodes but schedule supports %d", n, s.N())
+	}
+	l := s.L()
+	lw := (l + wordBits - 1) / wordBits
+	k := &SaturationKernel{
+		s:      s,
+		n:      n,
+		l:      l,
+		lw:     lw,
+		tran:   make([][]uint64, n),
+		rxOnly: make([]uint64, n*lw),
+	}
+	for u := 0; u < n; u++ {
+		tw := s.Tran(u).Words()
+		rw := s.Recv(u).Words()
+		k.tran[u] = tw
+		row := k.rxOnly[u*lw : (u+1)*lw]
+		for j := 0; j < lw; j++ {
+			t := tw[j]
+			r := rw[j] &^ t
+			row[j] = r
+			k.txPerFrame += bits.OnesCount64(t)
+			k.rxPerFrame += bits.OnesCount64(r)
+		}
+	}
+	return k, nil
+}
+
+// N returns the node-universe size the kernel was built for.
+func (k *SaturationKernel) N() int { return k.n }
+
+// satFastScratch is the per-run working state of the fast path, pooled so a
+// campaign of many runs reuses one buffer set per worker.
+type satFastScratch struct {
+	once, many, x1 []uint64 // L-bit rows: transmit-count parity, ≥2, exactly-1
+	offset, cursor []int    // u-major link-id assignment during the v-major scan
+	linkCounts     []int    // whole-run deliveries per directed link, u-major
+}
+
+var satFastPool = sync.Pool{New: func() any { return new(satFastScratch) }}
+
+// reset sizes the scratch for lw-word slot rows, n nodes, and nLinks
+// directed links, and clears what must start zeroed.
+func (sc *satFastScratch) reset(lw, n, nLinks int) {
+	if cap(sc.once) < lw {
+		sc.once = make([]uint64, lw)
+		sc.many = make([]uint64, lw)
+		sc.x1 = make([]uint64, lw)
+	}
+	sc.once = sc.once[:lw]
+	sc.many = sc.many[:lw]
+	sc.x1 = sc.x1[:lw]
+	if cap(sc.offset) < n {
+		sc.offset = make([]int, n)
+		sc.cursor = make([]int, n)
+	}
+	sc.offset = sc.offset[:n]
+	sc.cursor = sc.cursor[:n]
+	for i := range sc.cursor {
+		sc.cursor[i] = 0
+	}
+	if cap(sc.linkCounts) < nLinks {
+		sc.linkCounts = make([]int, nLinks)
+	}
+	sc.linkCounts = sc.linkCounts[:nLinks]
+}
+
+// Run executes a saturation run on g using the word-parallel fast path. The
+// saturation workload is frame-periodic — every node transmits in every
+// eligible slot, so the delivery pattern of slot i is identical in every
+// frame — which lets the fast path resolve a single frame with bitset word
+// operations and scale the integer counters by the frame count. The result
+// is field-for-field identical to RunSaturationLegacy on the same inputs
+// (pinned by the differential matrix and fuzz harness in this package).
+func (k *SaturationKernel) Run(g *topology.Graph, frames int, em EnergyModel) (*SaturationResult, error) {
+	if g.N() != k.n {
+		return nil, fmt.Errorf("sim: kernel built for %d nodes but graph has %d", k.n, g.N())
+	}
+	if frames < 1 {
+		return nil, fmt.Errorf("sim: frames = %d", frames)
+	}
+	n, l, lw := k.n, k.l, k.lw
+	res := &SaturationResult{
+		Frames:        frames,
+		SlotsPerFrame: l,
+	}
+	// u-major link ids: offset[u] is the id of u's first outgoing link.
+	nLinks := 0
+	sc := satFastPool.Get().(*satFastScratch)
+	defer satFastPool.Put(sc)
+	sc.reset(lw, n, 2*g.EdgeCount())
+	for u := 0; u < n; u++ {
+		sc.offset[u] = nLinks
+		nLinks += g.Degree(u)
+	}
+	once, many, x1 := sc.once, sc.many, sc.x1
+	collPerFrame := 0
+	maxGap := 0
+	// Receiver-major frame resolution: for each receiver v, a saturating
+	// two-bit counter over its neighbours' transmit-slot words yields the
+	// slots with exactly one transmitting neighbour (once &^ many) and with
+	// two or more (many) in O(deg(v) · L/64) word operations.
+	for v := 0; v < n; v++ {
+		for j := range once {
+			once[j] = 0
+			many[j] = 0
+		}
+		g.NeighborSet(v).ForEach(func(u int) bool {
+			tw := k.tran[u]
+			for j := range once {
+				carry := once[j] & tw[j]
+				once[j] ^= tw[j]
+				many[j] |= carry
+			}
+			return true
+		})
+		rx := k.rxOnly[v*lw : (v+1)*lw]
+		for j := range rx {
+			collPerFrame += bits.OnesCount64(rx[j] & many[j])
+			x1[j] = rx[j] & once[j] &^ many[j]
+		}
+		// Per incoming link u→v: the delivery slots of one frame are
+		// x1 ∩ tran(u) (if u is the unique transmitting neighbour of a
+		// slot and u transmits, u is the sender). Inter-delivery gaps over
+		// the whole run follow from the periodic pattern: consecutive
+		// in-frame gaps, plus the frame-wrap gap when the run has a second
+		// frame for the pattern to repeat into.
+		g.NeighborSet(v).ForEach(func(u int) bool {
+			tw := k.tran[u]
+			cnt := 0
+			first, prev := -1, -1
+			for j := range x1 {
+				w := x1[j] & tw[j]
+				for w != 0 {
+					b := j*wordBits + bits.TrailingZeros64(w)
+					w &= w - 1
+					if prev >= 0 {
+						if gap := b - prev - 1; gap > maxGap {
+							maxGap = gap
+						}
+					} else {
+						first = b
+					}
+					prev = b
+					cnt++
+				}
+			}
+			if cnt > 0 && frames > 1 {
+				if gap := first + l - prev - 1; gap > maxGap {
+					maxGap = gap
+				}
+			}
+			id := sc.offset[u] + sc.cursor[u]
+			sc.cursor[u]++
+			sc.linkCounts[id] = cnt * frames
+			return true
+		})
+	}
+	res.CollisionSlots = collPerFrame * frames
+	res.MaxInterDeliveryGap = maxGap
+	finishSaturation(res, g, em, sc.linkCounts[:nLinks], k.txPerFrame*frames, k.rxPerFrame*frames)
+	return res, nil
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestFloodFirstReceptionTracksBFSDistance checks the per-node reception
+// records of a completed flood: the source holds the message at slot 0,
+// everyone else has a first-reception slot consistent with its hop
+// distance — under a topology-transparent schedule the frontier advances
+// at least one hop per frame, so a node at distance d hears the message
+// within d frames.
+func TestFloodFirstReceptionTracksBFSDistance(t *testing.T) {
+	const n = 9
+	g := topology.Line(n)
+	s := polySchedule(t, n, 2)
+	proto := ScheduleProtocol{S: s}
+	ecc := Eccentricity(g, 0)
+	res, err := RunFlood(g, proto, FloodConfig{Source: 0, MaxFrames: ecc + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covered != n || res.CompletionSlot < 0 {
+		t.Fatalf("flood incomplete: covered %d of %d, completion %d", res.Covered, n, res.CompletionSlot)
+	}
+	_, dist := g.BFSTree(0)
+	L := s.L()
+	for v := 0; v < n; v++ {
+		fr := res.FirstReception[v]
+		switch {
+		case v == 0:
+			if fr != 0 {
+				t.Fatalf("source FirstReception = %d, want 0", fr)
+			}
+		case fr < 0:
+			t.Fatalf("node %d never received", v)
+		case fr >= dist[v]*L:
+			t.Fatalf("node %d at distance %d received in slot %d, want < %d", v, dist[v], fr, dist[v]*L)
+		}
+	}
+	if res.CompletionSlot >= (ecc+1)*L {
+		t.Fatalf("completion slot %d beyond the eccentricity bound %d", res.CompletionSlot, (ecc+1)*L)
+	}
+}
+
+// TestFloodActiveFractionDenominator pins the duty-cycle accounting: a
+// completed flood divides awake node-slots by the slots actually run
+// (completion truncates the run), an incomplete one by the full budget.
+func TestFloodActiveFractionDenominator(t *testing.T) {
+	const n = 6
+	g := topology.Ring(n)
+	s := tdmaSchedule(t, n)
+	proto := ScheduleProtocol{S: s}
+	res, err := RunFlood(g, proto, FloodConfig{Source: 0, MaxFrames: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionSlot < 0 {
+		t.Fatal("TDMA ring flood should complete")
+	}
+	// Under non-sleeping TDMA every node is awake in every slot (the holder
+	// transmits in its slot, everyone listens otherwise), so the fraction
+	// must be exactly 1 regardless of the denominator — while an incomplete
+	// run on a disconnected-at-schedule-level setup exercises the other
+	// branch below.
+	if res.ActiveFraction != 1 {
+		t.Fatalf("TDMA flood ActiveFraction = %v, want 1", res.ActiveFraction)
+	}
+
+	// Cut the budget to a single frame on a long line, flooding from the
+	// far end so the TDMA slot order runs against the hop direction: the
+	// flood cannot finish, CompletionSlot stays -1, and the denominator is
+	// the full budget MaxFrames*L.
+	g2 := topology.Line(8)
+	s2 := tdmaSchedule(t, 8)
+	short, err := RunFlood(g2, ScheduleProtocol{S: s2}, FloodConfig{Source: 7, MaxFrames: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.CompletionSlot != -1 {
+		t.Fatalf("one-frame flood on an 8-line completed at %d", short.CompletionSlot)
+	}
+	if short.Covered >= 8 || short.Covered < 2 {
+		t.Fatalf("one-frame flood covered %d nodes", short.Covered)
+	}
+	// Sender-initiated MAC: each of the 7 non-source nodes sleeps through
+	// its own transmit slot while it has nothing to offer, so over the full
+	// 8×8 budget exactly 7 node-slots are dark.
+	if want := float64(8*8-7) / float64(8*8); short.ActiveFraction != want {
+		t.Fatalf("incomplete TDMA flood ActiveFraction = %v, want %v", short.ActiveFraction, want)
+	}
+}
+
+// TestFloodSchedulePreventsFrontierCollisions contrasts the
+// topology-transparent schedule with blind flooding: on a dense graph the
+// schedule's guaranteed slots keep the frontier advancing even though many
+// holders transmit, while ALOHA-style blind transmission collides.
+func TestFloodScheduleCollisionAccounting(t *testing.T) {
+	// Complete-ish graph where every node neighbours every other: with TDMA
+	// only one node transmits per slot, so no collision is possible.
+	const n = 5
+	g := topology.NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	s := tdmaSchedule(t, n)
+	res, err := RunFlood(g, ScheduleProtocol{S: s}, FloodConfig{Source: 0, MaxFrames: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collisions != 0 {
+		t.Fatalf("TDMA flood collided %d times", res.Collisions)
+	}
+	if res.CompletionSlot < 0 || res.CompletionSlot > s.L() {
+		t.Fatalf("complete-graph TDMA flood completion %d, want within one frame", res.CompletionSlot)
+	}
+}
+
+func TestFloodInputValidation(t *testing.T) {
+	g := topology.Ring(4)
+	s := tdmaSchedule(t, 4)
+	proto := ScheduleProtocol{S: s}
+	if _, err := RunFlood(g, proto, FloodConfig{Source: -1, MaxFrames: 1}); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := RunFlood(g, proto, FloodConfig{Source: 4, MaxFrames: 1}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if _, err := RunFlood(g, proto, FloodConfig{Source: 0, MaxFrames: 0}); err == nil {
+		t.Fatal("zero MaxFrames accepted")
+	}
+}

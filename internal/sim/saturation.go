@@ -46,8 +46,8 @@ type SaturationResult struct {
 	ActiveFraction float64
 }
 
-// satScratch is the per-run working state of RunSaturation, pooled so a
-// campaign of many short runs (the engine's saturation grids) reuses one
+// satScratch is the per-run working state of RunSaturationLegacy, pooled so
+// a campaign of many short runs (the engine's saturation grids) reuses one
 // set of buffers per worker instead of allocating ~2n² ints per job.
 type satScratch struct {
 	transmitting []bool
@@ -56,6 +56,8 @@ type satScratch struct {
 	// lastDelivery[u*n+v] is the absolute slot of the last u→v delivery,
 	// or -1 before the first.
 	lastDelivery []int
+	// links gathers the u-major per-link counts handed to finishSaturation.
+	links []int
 }
 
 var satPool = sync.Pool{New: func() any { return new(satScratch) }}
@@ -74,6 +76,7 @@ func (sc *satScratch) reset(n int) {
 		sc.counts[i] = 0
 		sc.lastDelivery[i] = -1
 	}
+	sc.links = sc.links[:0]
 }
 
 // RunSaturation simulates the worst-case load: every node of g transmits a
@@ -82,7 +85,26 @@ func (sc *satScratch) reset(n int) {
 // only transmitting neighbour of v. If the schedule is topology-transparent
 // for a class containing g, every directed link is guaranteed at least one
 // delivery per frame.
+//
+// RunSaturation runs the struct-of-arrays fast path (the toggle default).
+// RunSaturationLegacy runs the per-node reference loop instead; the two are
+// field-for-field identical, pinned by the differential tests in this
+// package. Campaigns that run many topologies against one schedule should
+// build a SaturationKernel once and call Run per topology.
 func RunSaturation(g *topology.Graph, s *core.Schedule, frames int, em EnergyModel) (*SaturationResult, error) {
+	k, err := NewSaturationKernel(s, g.N())
+	if err != nil {
+		return nil, err
+	}
+	return k.Run(g, frames, em)
+}
+
+// RunSaturationLegacy is the original slot-by-slot, node-by-node saturation
+// loop. It is retained as the trusted differential reference for the fast
+// path (the same kernel-pinning discipline internal/core uses for its naive
+// verification kernels) and as the escape hatch when the fast path is ever
+// in doubt.
+func RunSaturationLegacy(g *topology.Graph, s *core.Schedule, frames int, em EnergyModel) (*SaturationResult, error) {
 	if g.N() > s.N() {
 		return nil, fmt.Errorf("sim: graph has %d nodes but schedule supports %d", g.N(), s.N())
 	}
@@ -99,17 +121,19 @@ func RunSaturation(g *topology.Graph, s *core.Schedule, frames int, em EnergyMod
 	defer satPool.Put(sc)
 	sc.reset(n)
 	transmitting, counts, lastDelivery := sc.transmitting, sc.counts, sc.lastDelivery
-	awake := 0
+	txSlots, rxSlots := 0, 0
 	for f := 0; f < frames; f++ {
 		for i := 0; i < L; i++ {
 			abs := f*L + i
 			for u := 0; u < n; u++ {
 				role := s.RoleOf(u, i)
 				transmitting[u] = role == core.Transmit
-				if role != core.Sleep {
-					awake++
+				switch role {
+				case core.Transmit:
+					txSlots++
+				case core.Receive:
+					rxSlots++
 				}
-				res.TotalEnergy += em.slotEnergy(role == core.Transmit, role == core.Receive)
 			}
 			for v := 0; v < n; v++ {
 				if s.RoleOf(v, i) != core.Receive {
@@ -140,48 +164,15 @@ func RunSaturation(g *topology.Graph, s *core.Schedule, frames int, em EnergyMod
 			}
 		}
 	}
-	// Materialize the Delivered maps only now, from the flat counters:
-	// entries exist exactly for the pairs that delivered at least once,
-	// the same shape the per-delivery map writes used to produce.
-	delivered := make(map[int]map[int]int, n)
+	// Gather the flat counters into u-major link order and derive every
+	// reported field through the finalizer shared with the fast path.
 	for u := 0; u < n; u++ {
-		delivered[u] = make(map[int]int)
-		for v := 0; v < n; v++ {
-			if c := counts[u*n+v]; c > 0 {
-				delivered[u][v] = c
-			}
-		}
+		g.NeighborSet(u).ForEach(func(v int) bool {
+			sc.links = append(sc.links, counts[u*n+v])
+			return true
+		})
 	}
-	res.Delivered = delivered
-	totalLinks := 0
-	totalDeliveries := 0
-	minPerFrame := -1.0
-	for u := 0; u < n; u++ {
-		for _, v := range g.Neighbors(u) {
-			totalLinks++
-			d := counts[u*n+v]
-			totalDeliveries += d
-			perFrame := float64(d) / float64(frames)
-			if minPerFrame < 0 || perFrame < minPerFrame {
-				minPerFrame = perFrame
-			}
-		}
-	}
-	if totalLinks > 0 {
-		res.MinLinkPerFrame = minPerFrame
-		res.AvgLinkPerFrame = float64(totalDeliveries) / float64(totalLinks) / float64(frames)
-		res.MinLinkThroughput = res.MinLinkPerFrame / float64(L)
-		res.AvgLinkThroughput = res.AvgLinkPerFrame / float64(L)
-	}
-	if totalDeliveries > 0 {
-		res.EnergyPerDelivery = res.TotalEnergy / float64(totalDeliveries)
-	} else {
-		res.EnergyPerDelivery = 0
-		if res.TotalEnergy > 0 {
-			res.EnergyPerDelivery = res.TotalEnergy // degenerate; callers inspect deliveries
-		}
-	}
-	res.ActiveFraction = float64(awake) / float64(n*L*frames)
+	finishSaturation(res, g, em, sc.links, txSlots, rxSlots)
 	return res, nil
 }
 

@@ -70,6 +70,23 @@ func RunSaturation(g *Graph, s *Schedule, frames int, em EnergyModel) (*Saturati
 	return sim.RunSaturation(g, s, frames, em)
 }
 
+// RunSaturationLegacy is the slot-by-slot reference loop for RunSaturation,
+// retained as the differential baseline for the struct-of-arrays fast path.
+func RunSaturationLegacy(g *Graph, s *Schedule, frames int, em EnergyModel) (*SaturationResult, error) {
+	return sim.RunSaturationLegacy(g, s, frames, em)
+}
+
+// SaturationKernel is the reusable topology-independent precomputation of
+// the saturation fast path; build one per (schedule, n) and share it across
+// the topologies of a campaign.
+type SaturationKernel = sim.SaturationKernel
+
+// NewSaturationKernel precomputes the saturation fast path for schedule s
+// over graphs on exactly n nodes.
+func NewSaturationKernel(s *Schedule, n int) (*SaturationKernel, error) {
+	return sim.NewSaturationKernel(s, n)
+}
+
 // GuaranteedPerLink computes the analytical per-frame guaranteed delivery
 // count for every directed link of g under s.
 func GuaranteedPerLink(g *Graph, s *Schedule) map[int]map[int]int {
