@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build lint lint-sarif test race race-conc race-sim fuzz bench benchall serve
+.PHONY: check vet build lint lint-sarif lint-bench test race race-conc race-sim fuzz bench benchall serve
 
 check: vet build lint test race race-conc race-sim
 
@@ -59,6 +59,7 @@ fuzz:
 	$(GO) test -fuzz FuzzScheduleFromSlotSets -fuzztime 10s .
 	$(GO) test -fuzz FuzzCacheGet -fuzztime 10s ./internal/schedcache
 	$(GO) test -fuzz FuzzSimEquivalence -fuzztime 10s ./internal/sim
+	$(GO) test -run '^$$' -fuzz FuzzIgnoreDirective -fuzztime 10s ./internal/lint
 
 # Benchmarks with -benchmem, captured as the machine-readable perf
 # trajectory: BENCH_engine.json (serial-vs-parallel Workers1/WorkersMax
@@ -68,13 +69,21 @@ fuzz:
 # Workers1/WorkersMax ratio a noise measurement — one GC pause in a
 # 3-iteration run moved the pair by ±20%. Non-gating: runs alongside
 # `make check`, not inside it.
-bench:
+bench: lint-bench
 	$(GO) test -run xxx -bench . -benchmem -benchtime 1s ./internal/engine ./internal/schedcache \
 		| $(GO) run ./cmd/ttdcbench -o BENCH_engine.json
 	$(GO) test -run xxx -bench . -benchmem -benchtime 1s ./internal/core \
 		| $(GO) run ./cmd/ttdcbench -o BENCH_core.json
 	$(GO) test -run xxx -bench . -benchmem -benchtime 1s ./internal/sim \
 		| $(GO) run ./cmd/ttdcbench -o BENCH_sim.json
+
+# Linter self-benchmarks: loader (serial and parallel), call-graph +
+# summary fixpoint, per-analyzer wall time, and the full LintAll path,
+# captured as BENCH_lint.json so analyzer regressions show up in the perf
+# trajectory alongside the engine and kernel numbers.
+lint-bench:
+	$(GO) test -run xxx -bench . -benchmem -benchtime 1s ./internal/lint \
+		| $(GO) run ./cmd/ttdcbench -o BENCH_lint.json
 
 # One pass over every package's benchmarks, for spot checks.
 benchall:

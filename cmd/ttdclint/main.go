@@ -133,11 +133,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	res := lint.LintAll(pkgs, analyzers)
-	wd, _ := os.Getwd()
 	entries := make([]baselineEntry, len(res.Findings))
 	for i, d := range res.Findings {
 		entries[i] = baselineEntry{
-			File:     relPath(wd, d.Pos.Filename),
+			File:     relPath(loader.Root, d.Pos.Filename),
 			Analyzer: d.Analyzer,
 			Message:  d.Message,
 			Line:     d.Pos.Line,
@@ -419,15 +418,17 @@ func writeSARIF(w io.Writer, analyzers []*lint.Analyzer, entries []baselineEntry
 	return enc.Encode(log)
 }
 
-// relPath shortens abs to a path relative to the working directory when
-// that is both possible and actually shorter to read.
-func relPath(wd, abs string) string {
-	if wd == "" {
+// relPath renders abs relative to the module root with forward slashes,
+// so reports, SARIF logs, and the baseline ledger are byte-identical
+// across checkouts and working directories. Paths outside the module keep
+// their absolute form.
+func relPath(root, abs string) string {
+	if root == "" {
 		return abs
 	}
-	rel, err := filepath.Rel(wd, abs)
+	rel, err := filepath.Rel(root, abs)
 	if err != nil || strings.HasPrefix(rel, "..") {
 		return abs
 	}
-	return rel
+	return filepath.ToSlash(rel)
 }

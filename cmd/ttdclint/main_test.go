@@ -32,6 +32,9 @@ var badAnalyzers = map[string]string{
 	"atomicmix":  "accessed atomically",
 	"mutexcopy":  "copies guarded",
 	"walltime":   "reads the wall clock",
+	"floatflow":  "does not trace to an approved finalizer",
+	"poolescape": "outlives the call",
+	"detflow":    "deterministic outputs must be path-clean",
 }
 
 func TestRunFindings(t *testing.T) {
@@ -50,8 +53,8 @@ func TestRunFindings(t *testing.T) {
 		t.Fatalf("findings = %d, want %d:\n%s", len(lines), len(badAnalyzers), got)
 	}
 	for _, line := range lines {
-		if !strings.HasPrefix(line, "testdata/bad/") {
-			t.Errorf("diagnostic not in file:line form: %q", line)
+		if !strings.HasPrefix(line, "cmd/ttdclint/testdata/bad/") {
+			t.Errorf("diagnostic not module-relative: %q", line)
 		}
 	}
 }
@@ -72,7 +75,7 @@ func TestRunJSONReport(t *testing.T) {
 		t.Errorf("unexpected counts: %+v", report)
 	}
 	for _, d := range report.Findings {
-		if !strings.HasPrefix(d.File, "testdata/bad/") || d.Line <= 0 || d.Col <= 0 || d.Message == "" {
+		if !strings.HasPrefix(d.File, "cmd/ttdclint/testdata/bad/") || d.Line <= 0 || d.Col <= 0 || d.Message == "" {
 			t.Errorf("incomplete diagnostic %+v", d)
 		}
 	}
@@ -137,7 +140,7 @@ func TestRunBaselineWorkflow(t *testing.T) {
 		t.Fatal(err)
 	}
 	bl.Findings = append(bl.Findings, baselineEntry{
-		File: "testdata/bad/conc.go", Analyzer: "poolput", Message: "finding that was fixed long ago",
+		File: "cmd/ttdclint/testdata/bad/conc.go", Analyzer: "poolput", Message: "finding that was fixed long ago",
 	})
 	data, err = json.MarshalIndent(bl, "", "  ")
 	if err != nil {
@@ -172,16 +175,16 @@ func TestRunSARIF(t *testing.T) {
 	if run0.Tool.Driver.Name != "ttdclint" {
 		t.Fatalf("driver name = %q", run0.Tool.Driver.Name)
 	}
-	// Eleven analyzers plus the "ignore" pseudo-rule.
-	if len(run0.Tool.Driver.Rules) != 12 {
-		t.Fatalf("rules = %d, want 12", len(run0.Tool.Driver.Rules))
+	// Fourteen analyzers plus the "ignore" pseudo-rule.
+	if len(run0.Tool.Driver.Rules) != 15 {
+		t.Fatalf("rules = %d, want 15", len(run0.Tool.Driver.Rules))
 	}
 	if len(run0.Results) != len(badAnalyzers) {
 		t.Fatalf("results = %d, want %d", len(run0.Results), len(badAnalyzers))
 	}
 	for _, r := range run0.Results {
 		loc := r.Locations[0].PhysicalLocation
-		if !strings.HasPrefix(loc.ArtifactLocation.URI, "testdata/bad/") || loc.Region.StartLine <= 0 {
+		if !strings.HasPrefix(loc.ArtifactLocation.URI, "cmd/ttdclint/testdata/bad/") || loc.Region.StartLine <= 0 {
 			t.Errorf("bad location %+v", loc)
 		}
 	}
@@ -202,7 +205,7 @@ func TestRunEnableDisable(t *testing.T) {
 		t.Fatalf("exit = %d, want 1; stderr=%q", code, errb.String())
 	}
 	got := out.String()
-	if strings.Contains(got, "ratcompare") || len(strings.Split(strings.TrimSpace(got), "\n")) != 6 {
+	if strings.Contains(got, "ratcompare") || len(strings.Split(strings.TrimSpace(got), "\n")) != 9 {
 		t.Fatalf("-disable output:\n%s", got)
 	}
 
@@ -223,6 +226,39 @@ func TestRunMissingDir(t *testing.T) {
 	}
 	if errb.Len() == 0 {
 		t.Fatal("expected a load error on stderr")
+	}
+}
+
+// TestRunPathsStableAcrossWorkingDirectories pins the reporting contract:
+// finding paths are module-relative, so the -json report is byte-identical
+// whether ttdclint runs from the module root or from a subdirectory.
+func TestRunPathsStableAcrossWorkingDirectories(t *testing.T) {
+	orig, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(orig); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	var fromHere, fromRoot, errb bytes.Buffer
+	if code := run([]string{"-json", "testdata/bad"}, &fromHere, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr=%q", code, errb.String())
+	}
+
+	if err := os.Chdir(filepath.Join("..", "..")); err != nil {
+		t.Fatal(err)
+	}
+	errb.Reset()
+	if code := run([]string{"-json", filepath.Join("cmd", "ttdclint", "testdata", "bad")}, &fromRoot, &errb); code != 1 {
+		t.Fatalf("exit from module root = %d, want 1; stderr=%q", code, errb.String())
+	}
+
+	if !bytes.Equal(fromHere.Bytes(), fromRoot.Bytes()) {
+		t.Fatalf("report depends on working directory:\n--- from cmd/ttdclint ---\n%s--- from module root ---\n%s",
+			fromHere.String(), fromRoot.String())
 	}
 }
 

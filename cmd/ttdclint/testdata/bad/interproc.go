@@ -1,0 +1,33 @@
+// Interprocedural half of the dirty fixture tree: exactly one finding per
+// summary-driven analyzer — floatflow, poolescape, and detflow — each one
+// invisible to the intra-procedural suite because the offending half lives
+// in another function.
+package bad
+
+import "time"
+
+// Summary mirrors a journal-bound result row (registered with floatflow).
+type Summary struct {
+	Energy float64
+	Count  int
+}
+
+// FillSummary stores a float of unknown provenance into a journal row.
+func FillSummary(res *Summary, e float64) {
+	res.Energy = e
+	res.Count++
+}
+
+type holder struct{ s *scratch }
+
+// StashScratch parks pooled scratch in a holder that outlives the Put.
+func StashScratch(h *holder) {
+	s := pool.Get().(*scratch)
+	h.s = s
+	pool.Put(s)
+}
+
+// IndirectStamp launders the wall clock through Stamp one call away.
+func IndirectStamp() time.Time {
+	return Stamp()
+}

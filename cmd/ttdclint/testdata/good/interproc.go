@@ -1,0 +1,37 @@
+// Interprocedural half of the clean fixture tree: the sanctioned shapes
+// for each summary-driven analyzer — journal floats derived through the
+// approved finalizer, pooled scratch that never outlives its release even
+// when the Get and the Put sit behind helper calls, and determinism kept
+// by the injected clock in conc.go.
+package good
+
+// Summary mirrors a journal-bound result row (registered with floatflow).
+type Summary struct {
+	Energy float64
+	Count  int
+}
+
+// fromCounts is this tree's approved integer-census finalizer.
+func fromCounts(n int) float64 { return float64(n) * 0.125 }
+
+// FillSummary derives the journal float from integer counts.
+func FillSummary(res *Summary, n int) {
+	res.Energy = fromCounts(n)
+	res.Count = n
+}
+
+// getScratch transfers pooled ownership out; ReturnsPooled follows it.
+func getScratch() *scratch {
+	return pool.Get().(*scratch)
+}
+
+// putScratch releases its parameter.
+func putScratch(s *scratch) { pool.Put(s) }
+
+// UseScratch borrows through the getter and copies out before releasing.
+func UseScratch() int {
+	s := getScratch()
+	n := len(s.sums)
+	putScratch(s)
+	return n
+}

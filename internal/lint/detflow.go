@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DetFlow is the interprocedural closure of walltime, seededrand, and
+// maporder: inside the deterministic packages it reports calls to
+// module-internal functions whose summary says the callee (transitively)
+// reaches a nondeterminism source — time.Now behind two layers of helper,
+// an unseeded generator behind a convenience wrapper, a map-iteration
+// result laundered through a getter. The intra-procedural analyzers own
+// the direct sources; detflow owns every indirection over them, and each
+// finding carries the witness chain so the report explains which call path
+// needs a clock/seed injected or a sort inserted.
+var DetFlow = &Analyzer{
+	Name: "detflow",
+	Doc:  "deterministic packages must be path-clean of wall clock, unseeded randomness, and map order through any call chain",
+	Run:  runDetFlow,
+}
+
+// detflowScope lists the import paths whose outputs feed journals, result
+// tables, or SARIF, and therefore must be deterministic transitively. (The
+// testdata paths keep the ttdclint fixtures exercisable end to end.)
+var detflowScope = map[string]bool{
+	"repro/internal/engine":                    true,
+	"repro/internal/core":                      true,
+	"repro/internal/sim":                       true,
+	"repro/internal/lint/testdata/src/detflow": true,
+	"repro/cmd/ttdclint/testdata/bad":          true,
+	"repro/cmd/ttdclint/testdata/good":         true,
+}
+
+func runDetFlow(pkg *Package) []Diagnostic {
+	if pkg.Prog == nil || !detflowScope[strings.TrimSuffix(pkg.Types.Path(), "_test")] {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, fi := range pkg.Prog.FuncsOf(pkg) {
+		if strings.HasSuffix(pkg.Fset.Position(fi.Decl.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, e := range fi.Edges {
+			if e.Kind != EdgeCall {
+				continue
+			}
+			callee := pkg.Prog.Func(e.Callee)
+			if callee == nil || callee == fi {
+				// External callees are the intra analyzers' job; a
+				// self-recursive call would only restate the direct
+				// finding inside this same function.
+				continue
+			}
+			for k := TaintKind(0); k < numTaints; k++ {
+				if !callee.Summary.Taint[k] {
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Fset.Position(e.Pos),
+					Analyzer: "detflow",
+					Message: fmt.Sprintf("call reaches %s through %s; deterministic outputs must be path-clean of %s",
+						callee.Summary.Src[k], pkg.Prog.taintChain(e.Callee, k), taintNames[k]),
+				})
+			}
+		}
+	}
+	return diags
+}

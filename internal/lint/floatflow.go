@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FloatFlow enforces the float-provenance contract behind the repo's
+// byte-identical results: every float stored into a journal-bound result
+// struct (engine.Metrics, sim's *Result types) must trace — through any
+// chain of locals, arithmetic, conversions, and module calls — to integer
+// counts, constants, or one of the approved finalizers that both the
+// legacy and fast simulator paths share. A float that instead originates
+// from an unapproved source (a parameter of unknown provenance, a
+// function-value call, ad-hoc accumulation) can differ between two code
+// paths that are integer-identical, silently breaking the differential
+// harness's guarantee. Float fields read back out of a journal-bound
+// struct are clean by induction: they were checked at their own store.
+var FloatFlow = &Analyzer{
+	Name: "floatflow",
+	Doc:  "floats stored into journal-bound result structs must derive from integer counts via approved finalizers",
+	Run:  runFloatFlow,
+}
+
+func runFloatFlow(pkg *Package) []Diagnostic {
+	if pkg.Prog == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, fi := range pkg.Prog.FuncsOf(pkg) {
+		if approvedFinalizers[fi.Sym] {
+			continue // finalizers are where raw model floats may enter
+		}
+		if strings.HasSuffix(pkg.Fset.Position(fi.Decl.Pos()).Filename, "_test.go") {
+			continue
+		}
+		diags = append(diags, floatFlowBody(pkg, fi)...)
+	}
+	return diags
+}
+
+func floatFlowBody(pkg *Package, fi *FuncInfo) []Diagnostic {
+	prog := pkg.Prog
+	var diags []Diagnostic
+	report := func(pos ast.Node, tname *types.Named, field string) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(pos.Pos()),
+			Analyzer: "floatflow",
+			Message: fmt.Sprintf("float stored into %s.%s does not trace to an approved finalizer; derive it from integer counts (e.g. sim.energyFromCounts) so legacy and fast paths stay byte-identical",
+				shortSym(typeSym(tname)), field),
+		})
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				tname, field := journalFloatField(pkg, lhs)
+				if tname == nil {
+					continue
+				}
+				var rhs ast.Expr
+				if len(s.Rhs) == 1 {
+					rhs = s.Rhs[0] // covers op-assign and tuple assigns
+				} else if i < len(s.Rhs) {
+					rhs = s.Rhs[i]
+				}
+				if rhs == nil {
+					continue
+				}
+				if !prog.floatClean(fi, rhs, map[types.Object]bool{}) {
+					report(lhs, tname, field)
+				}
+			}
+		case *ast.CompositeLit:
+			tv, ok := pkg.Info.Types[s]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			named := namedOf(tv.Type)
+			if named == nil || !journalBound[typeSym(named)] {
+				return true
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			for i, elt := range s.Elts {
+				var field *types.Var
+				var val ast.Expr
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					id, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					for j := 0; j < st.NumFields(); j++ {
+						if st.Field(j).Name() == id.Name {
+							field = st.Field(j)
+							break
+						}
+					}
+					val = kv.Value
+				} else if i < st.NumFields() {
+					field = st.Field(i)
+					val = elt
+				}
+				if field == nil || !isFloatType(field.Type()) {
+					continue
+				}
+				if !prog.floatClean(fi, val, map[types.Object]bool{}) {
+					report(val, named, field.Name())
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// journalFloatField reports whether lhs selects a float field of a
+// journal-bound struct, returning the struct's named type and field name.
+func journalFloatField(pkg *Package, lhs ast.Expr) (*types.Named, string) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	named := namedOf(s.Recv())
+	if named == nil || !journalBound[typeSym(named)] {
+		return nil, ""
+	}
+	if !isFloatType(s.Obj().Type()) {
+		return nil, ""
+	}
+	return named, sel.Sel.Name
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzIgnoreDirective hammers the //lint:ignore parser with arbitrary
+// comment text and checks its structural invariants: it must never
+// panic, it must be deterministic, a non-directive yields nothing, and a
+// directive yields exactly one of a well-formed analyzer list or a
+// malformed-directive message. The seed corpus lives in
+// testdata/fuzz/FuzzIgnoreDirective.
+func FuzzIgnoreDirective(f *testing.F) {
+	f.Add("//lint:ignore walltime injected clock keeps replay deterministic")
+	f.Add("//lint:ignore ratcompare,ratfloat exact arithmetic audited in review")
+	f.Add("//lint:ignore")
+	f.Add("//lint:ignore maporder")
+	f.Add("// just a comment")
+	f.Add("//lint:ignorewalltime smuggled suppression must not parse")
+	f.Add("//lint:ignore\t walltime \t tab-separated reason")
+	f.Add("/*lint:ignore walltime block comments are not directives*/")
+	f.Add("//lint:ignore a,,b reason with an empty analyzer slot")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		analyzers, bad, ok := parseIgnoreDirective(text)
+
+		a2, b2, ok2 := parseIgnoreDirective(text)
+		if ok != ok2 || bad != b2 || strings.Join(analyzers, "\x00") != strings.Join(a2, "\x00") {
+			t.Fatalf("parse not deterministic for %q", text)
+		}
+
+		if !ok {
+			if analyzers != nil || bad != "" {
+				t.Fatalf("non-directive %q produced output: %v / %q", text, analyzers, bad)
+			}
+			return
+		}
+
+		// A recognised directive starts with the exact marker, bounded by
+		// end-of-comment or blank space — never fused into a longer word.
+		rest := strings.TrimPrefix(text, "//"+ignorePrefix)
+		if rest == text || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+			t.Fatalf("accepted %q as a directive", text)
+		}
+
+		wellFormed := len(analyzers) > 0
+		malformed := bad != ""
+		if wellFormed == malformed {
+			t.Fatalf("directive %q is both/neither well-formed and malformed: %v / %q", text, analyzers, bad)
+		}
+		for _, name := range analyzers {
+			if strings.ContainsAny(name, " \t\n\r,") {
+				t.Fatalf("analyzer name %q from %q contains separators", name, text)
+			}
+		}
+	})
+}

@@ -62,9 +62,12 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		AtomicMix,
 		CtxCancel,
+		DetFlow,
 		DroppedErr,
+		FloatFlow,
 		MapOrder,
 		MutexCopy,
+		PoolEscape,
 		PoolPut,
 		RatCompare,
 		RatFloat,
@@ -90,8 +93,15 @@ func Lint(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return LintAll(pkgs, analyzers).Findings
 }
 
-// LintAll is Lint plus the suppression count.
+// LintAll is Lint plus the suppression count. Before any analyzer runs it
+// builds the module-wide call-graph Program over all units, so the
+// interprocedural analyzers (detflow, floatflow, poolescape) see summaries
+// for every function of the run, not just the unit being reported on.
 func LintAll(pkgs []*Package, analyzers []*Analyzer) Result {
+	prog := BuildProgram(pkgs)
+	for _, pkg := range pkgs {
+		pkg.Prog = prog
+	}
 	var res Result
 	for _, pkg := range pkgs {
 		dirs := collectIgnores(pkg)
@@ -139,27 +149,46 @@ type ignoreDirective struct {
 
 const ignorePrefix = "lint:ignore"
 
+// parseIgnoreDirective parses the raw text of one comment. ok reports
+// whether the comment is a lint:ignore directive at all: it must start
+// with exactly `//lint:ignore` followed by the end of the comment or a
+// space or tab — `//lint:ignorewalltime` is an ordinary comment, not a
+// directive that silently suppresses walltime. When ok, exactly one of
+// analyzers (well-formed directive) or bad (the malformed-directive
+// finding message) is non-empty.
+func parseIgnoreDirective(text string) (analyzers []string, bad string, ok bool) {
+	rest, ok := strings.CutPrefix(text, "//"+ignorePrefix)
+	if !ok {
+		return nil, "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, "", false
+	}
+	fields := strings.Fields(rest)
+	switch {
+	case len(fields) == 0:
+		return nil, "lint:ignore directive missing analyzer name and reason", true
+	case len(fields) == 1:
+		return nil, fmt.Sprintf("lint:ignore %s has no written reason; every suppression must carry one", fields[0]), true
+	}
+	return strings.Split(fields[0], ","), "", true
+}
+
 // collectIgnores parses every //lint:ignore directive in the package.
 func collectIgnores(pkg *Package) []ignoreDirective {
 	var dirs []ignoreDirective
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+				analyzers, bad, ok := parseIgnoreDirective(c.Text)
 				if !ok {
 					continue
 				}
-				d := ignoreDirective{pos: pkg.Fset.Position(c.Pos())}
-				fields := strings.Fields(text)
-				switch {
-				case len(fields) == 0:
-					d.bad = "lint:ignore directive missing analyzer name and reason"
-				case len(fields) == 1:
-					d.bad = fmt.Sprintf("lint:ignore %s has no written reason; every suppression must carry one", fields[0])
-				default:
-					d.analyzers = strings.Split(fields[0], ",")
-				}
-				dirs = append(dirs, d)
+				dirs = append(dirs, ignoreDirective{
+					pos:       pkg.Fset.Position(c.Pos()),
+					analyzers: analyzers,
+					bad:       bad,
+				})
 			}
 		}
 	}

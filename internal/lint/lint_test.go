@@ -109,6 +109,9 @@ func TestWaitPairFixture(t *testing.T)   { runFixture(t, WaitPair, "waitpair") }
 func TestAtomicMixFixture(t *testing.T)  { runFixture(t, AtomicMix, "atomicmix") }
 func TestMutexCopyFixture(t *testing.T)  { runFixture(t, MutexCopy, "mutexcopy") }
 func TestWallTimeFixture(t *testing.T)   { runFixture(t, WallTime, "walltime") }
+func TestFloatFlowFixture(t *testing.T)  { runFixture(t, FloatFlow, "floatflow") }
+func TestPoolEscapeFixture(t *testing.T) { runFixture(t, PoolEscape, "poolescape") }
+func TestDetFlowFixture(t *testing.T)    { runFixture(t, DetFlow, "detflow") }
 
 // TestIgnoreDirectives checks suppression semantics directly: a malformed
 // directive is itself a finding and suppresses nothing; a well-formed one
@@ -240,8 +243,8 @@ func TestAnalyzerNamesUnique(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 11 {
-		t.Fatalf("analyzer count = %d, want 11", len(seen))
+	if len(seen) != 14 {
+		t.Fatalf("analyzer count = %d, want 14", len(seen))
 	}
 }
 

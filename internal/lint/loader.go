@@ -31,6 +31,9 @@ type Package struct {
 	// Types and Info carry the go/types results for the unit.
 	Types *types.Package
 	Info  *types.Info
+	// Prog is the module-wide interprocedural index, shared by every unit
+	// of one lint run; LintAll fills it before any analyzer runs.
+	Prog *Program
 }
 
 // Loader parses and type-checks packages of the enclosing module using

@@ -1,0 +1,331 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// PoolEscape is the interprocedural escape check for pooled scratch.
+// PoolPut verifies the Get/Put pairing inside one function; PoolEscape
+// verifies that a pooled value — obtained from Pool.Get directly or from a
+// getter function whose summary says ReturnsPooled — never outlives the
+// call that will recycle it:
+//
+//   - stored into a field, element, pointee, package variable, or channel
+//     (each a location that survives the function, while the Put hands the
+//     same memory to the next Get);
+//   - passed to a module function whose summary stores that parameter;
+//   - captured by a goroutine while some path of the function releases the
+//     object — the goroutine races the pool's next owner;
+//   - for getter-obtained values only: returned on a path where the value
+//     was already released, or while a deferred release is pending
+//     (PoolPut reports the same shapes for direct Gets; the getter
+//     indirection is invisible intra-procedurally).
+//
+// Returning a directly-Get-ed value is NOT a finding: that is how a getter
+// transfers ownership out, and the summary propagates ReturnsPooled to its
+// callers so the discipline follows the value.
+var PoolEscape = &Analyzer{
+	Name: "poolescape",
+	Doc:  "pooled scratch must not escape the call that releases it (fields, goroutines, storing callees, post-release returns)",
+	Run:  runPoolEscape,
+}
+
+func runPoolEscape(pkg *Package) []Diagnostic {
+	if pkg.Prog == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, fi := range pkg.Prog.FuncsOf(pkg) {
+		if strings.HasSuffix(pkg.Fset.Position(fi.Decl.Pos()).Filename, "_test.go") {
+			continue
+		}
+		diags = append(diags, poolEscapeBody(pkg, fi)...)
+	}
+	return diags
+}
+
+// pooledBinding is one local holding a pooled value within a function.
+type pooledBinding struct {
+	obj    types.Object
+	getter bool // obtained via a ReturnsPooled callee rather than Pool.Get
+	stmt   ast.Stmt
+}
+
+func poolEscapeBody(pkg *Package, fi *FuncInfo) []Diagnostic {
+	prog := pkg.Prog
+	bindings := collectPooledBindings(pkg, fi)
+	if len(bindings) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	report := func(n ast.Node, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(n.Pos()),
+			Analyzer: "poolescape",
+			Message:  msg,
+		})
+	}
+	for _, b := range bindings {
+		obj := b.obj
+		// Rule 1+3: stores into outliving locations and goroutine captures.
+		releasesAnywhere := prog.objReleased(fi, obj)
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range s.Lhs {
+					var rhs ast.Expr
+					if len(s.Rhs) == 1 {
+						rhs = s.Rhs[0]
+					} else if i < len(s.Rhs) {
+						rhs = s.Rhs[i]
+					}
+					if rhs == nil || !aliasesObject(pkg, rhs, obj) || !exprShares(pkg, rhs) {
+						continue
+					}
+					if aliasesObject(pkg, lhs, obj) {
+						continue // self-store within the pooled object
+					}
+					switch l := ast.Unparen(lhs).(type) {
+					case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+						report(lhs, "pooled scratch stored into a location that outlives the call; the pool will hand this memory to the next Get")
+					case *ast.Ident:
+						if v := pkg.Info.Uses[l]; v != nil && isPkgLevelVar(v) {
+							report(lhs, "pooled scratch stored into a package variable; the pool will hand this memory to the next Get")
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if usesObject(pkg, s.Value, obj) {
+					report(s, "pooled scratch sent on a channel; the receiver outlives the Put")
+				}
+			case *ast.GoStmt:
+				if releasesAnywhere && usesObject(pkg, s.Call, obj) {
+					report(s, "pooled scratch captured by a goroutine while this function releases it; the goroutine races the pool's next owner")
+				}
+			}
+			return true
+		})
+		// Rule 2: passed to a module callee that stores the parameter.
+		for _, e := range fi.Edges {
+			if e.Kind != EdgeCall {
+				continue
+			}
+			callee := prog.Func(e.Callee)
+			if callee == nil {
+				continue
+			}
+			for j, sp := range callee.Summary.StoresParam {
+				if !sp {
+					continue
+				}
+				if arg := calleeArg(e, callee, j); arg != nil && aliasesObject(pkg, arg, obj) && exprShares(pkg, arg) {
+					report(arg, fmt.Sprintf("pooled scratch passed to %s, which stores it past the call; it escapes its Put", shortSym(e.Callee)))
+				}
+			}
+		}
+		// Rule 4, getter-obtained values only: returns after/under a release.
+		if b.getter {
+			diags = append(diags, getterReturnChecks(pkg, prog, fi, b)...)
+		}
+	}
+	return diags
+}
+
+// collectPooledBindings finds the locals of fi bound to pooled values, at
+// any statement depth but outside nested function literals.
+func collectPooledBindings(pkg *Package, fi *FuncInfo) []pooledBinding {
+	prog := pkg.Prog
+	var out []pooledBinding
+	seen := map[types.Object]bool{}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		direct := isPoolGetCall(pkg, as.Rhs[0])
+		if !direct && !prog.isPooledSource(pkg, as.Rhs[0]) {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id]
+		}
+		if obj != nil && !seen[obj] {
+			seen[obj] = true
+			out = append(out, pooledBinding{obj: obj, getter: !direct, stmt: as})
+		}
+		return true
+	})
+	return out
+}
+
+// objReleased reports whether fi releases obj on some path: an inline or
+// deferred Pool.Put/Release, or a call into a module function that
+// releases the corresponding parameter.
+func (p *Program) objReleased(fi *FuncInfo, obj types.Object) bool {
+	if containsRelease(fi.Pkg, fi.Decl.Body, obj) {
+		return true
+	}
+	for _, e := range fi.Edges {
+		if e.Kind != EdgeCall {
+			continue
+		}
+		callee := p.Funcs[e.Callee]
+		if callee == nil {
+			continue
+		}
+		for j, rp := range callee.Summary.ReleasesParam {
+			if rp {
+				if arg := calleeArg(e, callee, j); arg != nil && aliasesObject(fi.Pkg, arg, obj) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// getterReturnChecks flags returns of a getter-obtained pooled value that
+// happen while a deferred release is pending or on a path after an inline
+// release — the interprocedural twins of PoolPut's rules 2 and 3.
+func getterReturnChecks(pkg *Package, prog *Program, fi *FuncInfo, b pooledBinding) []Diagnostic {
+	body := enclosingFuncBody2(fi, b.stmt)
+	if body == nil {
+		return nil
+	}
+	g := BuildFlow(body)
+	var diags []Diagnostic
+	// releasesAt mirrors PoolPut: only the parts executed at a node count,
+	// and interprocedural releases (calls into releasing callees) count too.
+	releasesAt := func(s ast.Stmt) bool {
+		for _, part := range ShallowParts(s) {
+			if containsRelease(pkg, part, b.obj) {
+				return true
+			}
+			if stmtCallsReleaser(pkg, prog, fi, part, b.obj) {
+				return true
+			}
+		}
+		return false
+	}
+	deferredRelease := false
+	for _, d := range g.Defers {
+		if containsRelease(pkg, d, b.obj) || stmtCallsReleaser(pkg, prog, fi, d, b.obj) {
+			deferredRelease = true
+			break
+		}
+	}
+	for _, n := range g.Nodes {
+		ret, ok := n.Stmt.(*ast.ReturnStmt)
+		if !ok {
+			continue
+		}
+		mentions := false
+		for _, r := range ret.Results {
+			if aliasesObject(pkg, r, b.obj) {
+				mentions = true
+			}
+		}
+		if !mentions {
+			continue
+		}
+		if deferredRelease {
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(ret.Pos()),
+				Analyzer: "poolescape",
+				Message:  "pooled value from a getter returned while a deferred release will recycle it; the caller receives memory the pool may reuse",
+			})
+		}
+	}
+	// Returns (or any use) reachable strictly after an inline release.
+	for _, n := range g.Nodes {
+		if _, isDefer := n.Stmt.(*ast.DeferStmt); isDefer || !releasesAt(n.Stmt) {
+			continue
+		}
+		reach := g.Reachable(n)
+		var after []*FlowNode
+		for m := range reach {
+			after = append(after, m)
+		}
+		sort.Slice(after, func(i, j int) bool { return after[i].Stmt.Pos() < after[j].Stmt.Pos() })
+		for _, m := range after {
+			ret, ok := m.Stmt.(*ast.ReturnStmt)
+			if !ok || m == n {
+				continue
+			}
+			for _, r := range ret.Results {
+				if aliasesObject(pkg, r, b.obj) {
+					diags = append(diags, Diagnostic{
+						Pos:      pkg.Fset.Position(ret.Pos()),
+						Analyzer: "poolescape",
+						Message:  "pooled value from a getter returned on a path after its release; the pool may already have handed it to another goroutine",
+					})
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// stmtCallsReleaser reports whether n contains a call into a module
+// function summarized as releasing the parameter position obj occupies.
+func stmtCallsReleaser(pkg *Package, prog *Program, fi *FuncInfo, n ast.Node, obj types.Object) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, recv, _, _ := resolveCallee(pkg, call)
+		if fn == nil {
+			return true
+		}
+		callee := prog.Func(symbolOf(fn))
+		if callee == nil {
+			return true
+		}
+		e := Edge{Kind: EdgeCall, Callee: callee.Sym, Fn: fn, Call: call, Recv: recv}
+		for j, rp := range callee.Summary.ReleasesParam {
+			if rp {
+				if arg := calleeArg(e, callee, j); arg != nil && aliasesObject(pkg, arg, obj) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// enclosingFuncBody2 returns the innermost block containing stmt for flow
+// analysis: the declaration body, unless the binding sits inside a nested
+// function literal (then that literal's body is the frame that owns it).
+func enclosingFuncBody2(fi *FuncInfo, stmt ast.Stmt) *ast.BlockStmt {
+	body := fi.Decl.Body
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			if fl.Body.Pos() <= stmt.Pos() && stmt.End() <= fl.Body.End() {
+				body = fl.Body
+			}
+		}
+		return true
+	})
+	return body
+}

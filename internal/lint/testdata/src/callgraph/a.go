@@ -1,0 +1,73 @@
+// Call-graph builder shapes, exercised directly by callgraph_test.go:
+// recursion, mutual recursion through a tainted cycle, method values,
+// interface dispatch, and float-provenance recursion that must converge.
+package callgraph
+
+import "time"
+
+// fact is simple self-recursion: one EdgeCall back to itself.
+func fact(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return n * fact(n-1)
+}
+
+// isEven and isOdd form a mutually recursive cycle; clock taint enters
+// through stamp and must reach both at the fixpoint.
+func isEven(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return isOdd(n - 1)
+}
+
+func isOdd(n int) bool {
+	if n == 0 {
+		return stamp()
+	}
+	return isEven(n - 1)
+}
+
+func stamp() bool { return time.Now().IsZero() }
+
+type T struct{ v int }
+
+func (t *T) Get() int { return t.v }
+
+// methodValue references Get without calling it: an EdgeRef, not a call.
+func methodValue() func() int {
+	t := &T{v: 1}
+	f := t.Get
+	return f
+}
+
+// callMethod calls Get statically through a concrete receiver.
+func callMethod(t *T) int {
+	return t.Get()
+}
+
+type Iface interface{ M() int }
+
+// dyn dispatches through an interface: a DynamicSite, no edge.
+func dyn(i Iface) int {
+	return i.M()
+}
+
+// cleanRec is float recursion with clean provenance: the optimistic
+// fixpoint must converge to FloatDerived = true.
+func cleanRec(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return cleanRec(n-1) / 2
+}
+
+// dirtyRec forwards a float parameter: FloatDerived must settle false and
+// stay false through the recursive cycle.
+func dirtyRec(x float64, n int) float64 {
+	if n == 0 {
+		return x
+	}
+	return dirtyRec(x, n-1)
+}

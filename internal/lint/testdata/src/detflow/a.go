@@ -1,0 +1,62 @@
+// Interprocedural determinism shapes: nondeterminism reaches results only
+// through helper calls, which is exactly what the intra-procedural
+// walltime/seededrand/maporder analyzers cannot see. Each finding's
+// message carries the witness chain down to the external source.
+package detflow
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp reads the wall clock directly (walltime's finding, not ours).
+func stamp() int64 { return time.Now().UnixNano() }
+
+// indirect reaches the clock one call deep.
+func indirect() int64 {
+	return stamp() // want `reaches time.Now through detflow\.stamp -> time\.Now`
+}
+
+// deep reaches it two calls deep; the chain names every hop.
+func deep() int64 {
+	return indirect() // want `detflow\.indirect -> detflow\.stamp -> time\.Now`
+}
+
+// draw uses the global generator directly.
+func draw() int { return rand.Intn(6) }
+
+// roll inherits the unseeded source from draw.
+func roll() int {
+	return draw() // want `rand\.Intn`
+}
+
+// firstKey returns whichever key map iteration yields first.
+func firstKey(m map[int]int) int {
+	for k := range m {
+		return k
+	}
+	return -1
+}
+
+// pick launders iteration order through firstKey.
+func pick(m map[int]int) int {
+	return firstKey(m) // want `map iteration order`
+}
+
+// seeded builds an explicitly seeded generator: no taint, methods on a
+// caller-seeded *rand.Rand are exempt.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// injected reads through a caller-supplied clock: dynamic calls carry no
+// taint, so the sanctioned injection pattern stays clean transitively.
+func injected(now func() time.Time) int64 {
+	return now().UnixNano()
+}
+
+// useInjected stays clean through the whole chain.
+func useInjected(now func() time.Time) int64 {
+	return injected(now)
+}

@@ -1,0 +1,63 @@
+// Float-provenance shapes over a journal-bound Summary: every float
+// stored into it must trace to integer counts, constants, or this tree's
+// approved fromCounts finalizer — through any chain of locals and calls.
+package floatflow
+
+// Summary mirrors a journal-bound result struct (registered with the
+// analyzer alongside engine.Metrics and sim's result types).
+type Summary struct {
+	Energy float64
+	Rate   float64
+	Count  int
+}
+
+// fromCounts is this tree's approved integer-census finalizer.
+func fromCounts(n int) float64 { return float64(n) * 0.125 }
+
+// price derives cleanly through the finalizer; callers inherit it via the
+// FloatDerived summary bit.
+func price(n int) float64 { return fromCounts(n) + 1 }
+
+// leak returns its float parameter: provenance unknown.
+func leak(x float64) float64 { return x }
+
+// fillClean stores only derived floats: finalizer results, int-conversion
+// arithmetic, a clean accumulator, and a journal field read back.
+func fillClean(s *Summary, tx, rx int) {
+	s.Energy = fromCounts(tx + rx)
+	s.Rate = float64(tx) / float64(tx+rx)
+	s.Count = tx
+	e := 0.0
+	for i := 0; i < tx; i++ {
+		e += price(i)
+	}
+	s.Energy = e
+	s.Rate = s.Energy / 2
+}
+
+// fillParam stores a float of unknown provenance.
+func fillParam(s *Summary, x float64) {
+	s.Energy = x // want `does not trace to an approved finalizer`
+}
+
+// fillViaHelper launders the parameter through a helper call: the
+// summary says leak is not float-derived.
+func fillViaHelper(s *Summary, x float64) {
+	s.Rate = leak(x) // want `does not trace to an approved finalizer`
+}
+
+// build stores a dirty float through a composite literal.
+func build(x float64, n int) Summary {
+	return Summary{Energy: x, Count: n} // want `floatflow\.Summary\.Energy does not trace`
+}
+
+// buildClean mirrors build with a derived value.
+func buildClean(n int) Summary {
+	return Summary{Energy: fromCounts(n), Count: n}
+}
+
+// fillIgnored carries a justified suppression.
+func fillIgnored(s *Summary, x float64) {
+	//lint:ignore floatflow calibration constant validated offline against the reference runs
+	s.Energy = x
+}

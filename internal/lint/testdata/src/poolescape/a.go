@@ -1,0 +1,89 @@
+// Pooled-escape shapes: the analyzer follows pooled values through getter
+// and releaser functions via call-graph summaries, so the Get, the Put,
+// and the escape can all live in different functions.
+package poolescape
+
+import "sync"
+
+type scratch struct {
+	buf []int
+	n   int
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+type holder struct{ s *scratch }
+
+var leaked *scratch
+
+var ch = make(chan *scratch, 1)
+
+// getScratch is a getter: returning a direct Get transfers ownership out,
+// and the ReturnsPooled summary bit follows the value to every caller.
+func getScratch() *scratch {
+	s := pool.Get().(*scratch)
+	return s
+}
+
+// putScratch releases its parameter; summaries mark position 0.
+func putScratch(s *scratch) { pool.Put(s) }
+
+// storeInto parks its first parameter in the holder.
+func storeInto(s *scratch, h *holder) { h.s = s }
+
+// borrow keeps the scratch within the call: no findings.
+func borrow() int {
+	s := getScratch()
+	n := len(s.buf)
+	putScratch(s)
+	return n
+}
+
+// stashField parks pooled scratch where it outlives the Put.
+func stashField(h *holder) {
+	s := getScratch()
+	h.s = s // want `outlives the call`
+	putScratch(s)
+}
+
+// stashGlobal leaks through a package variable.
+func stashGlobal() {
+	s := pool.Get().(*scratch)
+	leaked = s // want `package variable`
+	pool.Put(s)
+}
+
+// sendAway hands the scratch to whoever drains the channel.
+func sendAway() {
+	s := getScratch()
+	ch <- s // want `sent on a channel`
+	putScratch(s)
+}
+
+// passToStorer escapes through a callee that stores its parameter.
+func passToStorer(h *holder) {
+	s := getScratch()
+	storeInto(s, h) // want `passed to poolescape\.storeInto`
+	putScratch(s)
+}
+
+// goCapture races the pool's next owner.
+func goCapture() {
+	s := getScratch()
+	go func() { s.n++ }() // want `captured by a goroutine`
+	putScratch(s)
+}
+
+// returnDeferred returns the value a deferred release recycles.
+func returnDeferred() *scratch {
+	s := getScratch()
+	defer putScratch(s)
+	return s // want `deferred release`
+}
+
+// returnReleased returns on a path after the release.
+func returnReleased() *scratch {
+	s := getScratch()
+	putScratch(s)
+	return s // want `after its release`
+}
