@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build lint lint-sarif lint-bench test race race-conc race-sim fuzz bench benchall serve
+.PHONY: check vet build lint lint-sarif lint-bench test race race-conc race-sim fuzz bench bench-serve benchall serve
 
 check: vet build lint test race race-conc race-sim
 
@@ -59,6 +59,7 @@ fuzz:
 	$(GO) test -fuzz FuzzScheduleFromSlotSets -fuzztime 10s .
 	$(GO) test -fuzz FuzzCacheGet -fuzztime 10s ./internal/schedcache
 	$(GO) test -fuzz FuzzSimEquivalence -fuzztime 10s ./internal/sim
+	$(GO) test -fuzz FuzzDecodeWire -fuzztime 10s ./internal/wire
 	$(GO) test -run '^$$' -fuzz FuzzIgnoreDirective -fuzztime 10s ./internal/lint
 
 # Benchmarks with -benchmem, captured as the machine-readable perf
@@ -69,13 +70,20 @@ fuzz:
 # Workers1/WorkersMax ratio a noise measurement — one GC pause in a
 # 3-iteration run moved the pair by ±20%. Non-gating: runs alongside
 # `make check`, not inside it.
-bench: lint-bench
+bench: lint-bench bench-serve
 	$(GO) test -run xxx -bench . -benchmem -benchtime 1s ./internal/engine ./internal/schedcache \
 		| $(GO) run ./cmd/ttdcbench -o BENCH_engine.json
 	$(GO) test -run xxx -bench . -benchmem -benchtime 1s ./internal/core \
 		| $(GO) run ./cmd/ttdcbench -o BENCH_core.json
 	$(GO) test -run xxx -bench . -benchmem -benchtime 1s ./internal/sim \
 		| $(GO) run ./cmd/ttdcbench -o BENCH_sim.json
+
+# End-to-end serving-tier load: a 3-peer in-process consistent-hash ring
+# driven by the ttdcload generator (zipf key mix, ETag revalidation, wire
+# and JSON bodies), captured as BENCH_serve.json with client-observed
+# hit/miss/304 counts and latency quantiles.
+bench-serve:
+	$(GO) run ./cmd/ttdcload -inproc 3 -requests 12000 -c 16 -seed 42 -o BENCH_serve.json
 
 # Linter self-benchmarks: loader (serial and parallel), call-graph +
 # summary fixpoint, per-analyzer wall time, and the full LintAll path,

@@ -53,6 +53,7 @@ type File struct {
 	GOARCH     string      `json:"goarch,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
 	GOMAXPROCS int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"numCPU"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 	Speedups   []Speedup   `json:"speedups,omitempty"`
 }
@@ -95,7 +96,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 }
 
 func parse(r io.Reader) (*File, error) {
-	doc := &File{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	doc := &File{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())

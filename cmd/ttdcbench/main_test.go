@@ -48,6 +48,9 @@ func TestParseAndDerive(t *testing.T) {
 	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
 		t.Errorf("header = %+v", doc)
 	}
+	if doc.GOMAXPROCS <= 0 || doc.NumCPU <= 0 {
+		t.Errorf("CPU header: gomaxprocs=%d numCPU=%d", doc.GOMAXPROCS, doc.NumCPU)
+	}
 	if len(doc.Benchmarks) != 9 {
 		t.Fatalf("parsed %d benchmarks, want 9", len(doc.Benchmarks))
 	}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(context.Background(), []string{"-nope"}, &out, &errb); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run(context.Background(), []string{"-peers", "http://a,http://b"}, &out, &errb); err == nil {
+		t.Fatal("-peers without -self accepted")
+	}
+	if err := run(context.Background(), []string{"-warm", "9-2"}, &out, &errb); err == nil {
+		t.Fatal("malformed -warm accepted")
+	}
+	if err := run(context.Background(), []string{"-warm", "2:9"}, &out, &errb); err == nil {
+		t.Fatal("infeasible warm class accepted")
+	}
+}
+
+func TestParseClasses(t *testing.T) {
+	cs, err := parseClasses("9:2,25:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 || cs[0].N != 9 || cs[0].D != 2 || cs[1].N != 25 || cs[1].D != 3 {
+		t.Fatalf("parseClasses = %+v", cs)
+	}
+	for _, bad := range []string{"", "9", "9:2:3", "x:2", "9:y"} {
+		if _, err := parseClasses(bad); err == nil {
+			t.Errorf("parseClasses(%q) accepted", bad)
+		}
+	}
+}
+
+// syncBuffer lets the test read stdout while run's goroutine writes it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestRunGracefulShutdown boots the real server on an ephemeral port with
+// a background warmer, serves a request, submits a campaign, then cancels
+// the context (the SIGINT path): run must drain and return nil.
+func TestRunGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-cache", "32", "-grace", "5s",
+			"-warm", "9:2", "-warm-alpha-t", "2", "-warm-alpha-r", "2",
+		}, &out, io.Discard)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := out.String(); strings.Contains(s, "listening on ") {
+			rest := s[strings.Index(s, "listening on ")+len("listening on "):]
+			addr = strings.Fields(rest)[0]
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("server never reported its listen address")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/schedule?n=9&D=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // test
+	resp.Body.Close()              //nolint:errcheck // test
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule status %d", resp.StatusCode)
+	}
+
+	// Leave a campaign in flight so shutdown actually has to drain.
+	jresp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"n":[9,16],"d":[2],"duty":[{"alphaT":2,"alphaR":4}],"workload":"flood","frames":20,"seed":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, jresp.Body) //nolint:errcheck // test
+	jresp.Body.Close()              //nolint:errcheck // test
+	if jresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("jobs status %d", jresp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after graceful shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after context cancellation")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Fatalf("no shutdown log: %q", out.String())
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}

@@ -72,6 +72,16 @@ func (k Key) Validate() error {
 	return nil
 }
 
+// Canonical renders k in its canonical query-string form. Every process
+// that needs a deterministic, platform-independent identity for a cache
+// key — most importantly the consistent-hash ring deciding which serving
+// peer owns k — hashes exactly this string, so its layout is part of the
+// fleet protocol: changing it reshuffles ownership of the entire keyspace.
+func (k Key) Canonical() string {
+	return fmt.Sprintf("n=%d&D=%d&alphaT=%d&alphaR=%d&strategy=%s",
+		k.N, k.D, k.AlphaT, k.AlphaR, StrategyName(k.Strategy))
+}
+
 // ParseStrategy maps the wire names of the division strategies ("seq",
 // "sequential", "bal", "balanced", or empty for the default) onto
 // core.DivisionStrategy values.
@@ -112,6 +122,14 @@ type Stats struct {
 	Errors int64
 	// Entries is the current number of cached schedules.
 	Entries int64
+	// Bytes is the estimated memory footprint of all cached schedules
+	// (see ScheduleBytes). The background warmer reads this against its
+	// byte budget so precomputation stops before it starts evicting the
+	// very entries it just warmed.
+	Bytes int64
+	// EvictedBytes accumulates the estimated footprint of every entry
+	// evicted so far; Bytes + EvictedBytes is the total ever inserted.
+	EvictedBytes int64
 }
 
 // call is a pending construction that concurrent Gets coalesce onto.
@@ -122,8 +140,9 @@ type call struct {
 }
 
 type entry struct {
-	key Key
-	s   *core.Schedule
+	key   Key
+	s     *core.Schedule
+	bytes int64
 }
 
 // Cache is a memoizing schedule cache. The zero value is not usable; use
@@ -135,6 +154,8 @@ type Cache struct {
 	lru      *list.List // front = most recently used; element values are *entry
 	entries  map[Key]*list.Element
 	inflight map[Key]*call
+	bytes    int64 // estimated footprint of live entries; guarded by mu
+	evicted  int64 // estimated footprint of evicted entries; guarded by mu
 
 	hits, misses, evictions, constructions, errors, inflightN atomic.Int64
 }
@@ -170,6 +191,7 @@ func (c *Cache) Len() int {
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	entries := int64(len(c.entries))
+	bytes, evicted := c.bytes, c.evicted
 	c.mu.Unlock()
 	return Stats{
 		Hits:          c.hits.Load(),
@@ -179,6 +201,8 @@ func (c *Cache) Stats() Stats {
 		Constructions: c.constructions.Load(),
 		Errors:        c.errors.Load(),
 		Entries:       entries,
+		Bytes:         bytes,
+		EvictedBytes:  evicted,
 	}
 }
 
@@ -234,16 +258,61 @@ func (c *Cache) insertLocked(k Key, s *core.Schedule) {
 		c.lru.MoveToFront(el)
 		return
 	}
-	c.entries[k] = c.lru.PushFront(&entry{key: k, s: s})
+	b := ScheduleBytes(s)
+	c.entries[k] = c.lru.PushFront(&entry{key: k, s: s, bytes: b})
+	c.bytes += b
 	for len(c.entries) > c.capacity {
 		tail := c.lru.Back()
 		if tail == nil {
 			break
 		}
 		c.lru.Remove(tail)
-		delete(c.entries, tail.Value.(*entry).key)
+		e := tail.Value.(*entry)
+		delete(c.entries, e.key)
+		c.bytes -= e.bytes
+		c.evicted += e.bytes
 		c.evictions.Add(1)
 	}
+}
+
+// ScheduleBytes estimates the resident footprint of one cached schedule:
+// the 2L per-slot bitsets over n nodes, the 2n per-node bitsets over L
+// slots, and a fixed per-set overhead (struct + slice header + pointer).
+// It is an estimate — Go rounds allocations to size classes — but it is
+// monotone in n×L, which is what budget decisions need.
+func ScheduleBytes(s *core.Schedule) int64 {
+	n, l := int64(s.N()), int64(s.L())
+	const setOverhead = 56
+	slotWords := (n + 63) / 64
+	nodeWords := (l + 63) / 64
+	sets := 2*l + 2*n
+	return 8*(2*l*slotWords+2*n*nodeWords) + sets*setOverhead
+}
+
+// BaseFrameLength returns the closed-form frame length q² of the
+// polynomial base schedule for N(n, D) without materializing anything —
+// only the O(q) parameter search runs. The background warmer budgets a
+// whole duty-point lattice from this plus PredictedCells before building
+// a single schedule.
+func BaseFrameLength(n, d int) (int, error) {
+	params, err := cff.FindPolynomialParams(n, d)
+	if err != nil {
+		return 0, err
+	}
+	return params.FrameLength(), nil
+}
+
+// PredictedCells returns the n×L footprint key k will occupy once built,
+// given its class's base schedule ns: Theorem 7's frame length for
+// duty-cycled keys, ns.L() itself for the base. This is the same closed
+// form Build checks against its budget, so a warmer that filters on it
+// never submits a key Build would refuse.
+func PredictedCells(k Key, ns *core.Schedule) int64 {
+	if k.AlphaT == 0 && k.AlphaR == 0 {
+		return int64(k.N) * int64(ns.L())
+	}
+	aStar := core.OptimalTransmittersCapped(k.N, k.D, k.AlphaT)
+	return int64(k.N) * int64(core.ConstructedFrameLength(ns, aStar, k.AlphaR))
 }
 
 // Build constructs the schedule for k without any caching: the polynomial

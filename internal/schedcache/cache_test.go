@@ -328,3 +328,138 @@ func ExampleCache_Get() {
 	fmt.Println(s.N(), s.IsAlphaSchedule(3, 5))
 	// Output: 25 true
 }
+
+func TestKeyCanonical(t *testing.T) {
+	k := Key{N: 25, D: 2, AlphaT: 3, AlphaR: 5, Strategy: core.Balanced}
+	want := "n=25&D=2&alphaT=3&alphaR=5&strategy=balanced"
+	if got := k.Canonical(); got != want {
+		t.Fatalf("Canonical() = %q, want %q", got, want)
+	}
+	base := Key{N: 9, D: 2}
+	if got := base.Canonical(); got != "n=9&D=2&alphaT=0&alphaR=0&strategy=sequential" {
+		t.Fatalf("base Canonical() = %q", got)
+	}
+	if base.Canonical() == k.Canonical() {
+		t.Fatal("distinct keys share a canonical form")
+	}
+}
+
+// liveBytes recomputes the footprint of the cached entries from scratch.
+func liveBytes(c *Cache) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for _, el := range c.entries {
+		e := el.Value.(*entry)
+		if e.bytes != ScheduleBytes(e.s) {
+			return -1
+		}
+		total += e.bytes
+	}
+	return total
+}
+
+func TestBytesAccounting(t *testing.T) {
+	c := New(2)
+	keys := []Key{
+		{N: 9, D: 2},
+		{N: 9, D: 2, AlphaT: 2, AlphaR: 4},
+		{N: 16, D: 2, AlphaT: 2, AlphaR: 4},
+	}
+	var want []int64
+	for _, k := range keys {
+		s, err := c.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := ScheduleBytes(s)
+		if b <= 0 {
+			t.Fatalf("ScheduleBytes(%+v) = %d", k, b)
+		}
+		want = append(want, b)
+	}
+	st := c.Stats()
+	// Capacity 2: the first key was evicted, the last two are live.
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes != want[1]+want[2] {
+		t.Fatalf("Bytes = %d, want %d+%d", st.Bytes, want[1], want[2])
+	}
+	if st.EvictedBytes != want[0] {
+		t.Fatalf("EvictedBytes = %d, want %d", st.EvictedBytes, want[0])
+	}
+	if got := liveBytes(c); got != st.Bytes {
+		t.Fatalf("recomputed live bytes %d != Stats.Bytes %d", got, st.Bytes)
+	}
+	// A bigger schedule costs more: the estimate must be monotone in n×L.
+	if want[2] <= want[1] {
+		t.Fatalf("ScheduleBytes not monotone: n=16 %d <= n=9 %d", want[2], want[1])
+	}
+}
+
+// TestConcurrentGetEvictBytes hammers a capacity-2 cache from many
+// goroutines over a key set that does not fit, so inserts and evictions
+// race continuously; afterwards the byte ledger must balance exactly
+// against the surviving entries. Run under -race (make race-conc).
+func TestConcurrentGetEvictBytes(t *testing.T) {
+	c := New(2)
+	keys := []Key{
+		{N: 9, D: 2},
+		{N: 9, D: 2, AlphaT: 2, AlphaR: 4},
+		{N: 9, D: 2, AlphaT: 2, AlphaR: 4, Strategy: core.Balanced},
+		{N: 16, D: 2, AlphaT: 2, AlphaR: 4},
+		{N: 9, D: 3, AlphaT: 1, AlphaR: 1},
+	}
+	const workers = 16
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if _, err := c.Get(keys[(w+i)%len(keys)]); err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want capacity 2", st.Entries)
+	}
+	if got := liveBytes(c); got < 0 || got != st.Bytes {
+		t.Fatalf("byte ledger off: recomputed %d, Stats.Bytes %d", got, st.Bytes)
+	}
+	if st.EvictedBytes <= 0 || st.Evictions <= 0 {
+		t.Fatalf("expected evictions under pressure: %+v", st)
+	}
+}
+
+func TestPredictedCells(t *testing.T) {
+	base, err := Build(Key{N: 25, D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PredictedCells(Key{N: 25, D: 2}, base); got != int64(25*base.L()) {
+		t.Fatalf("base PredictedCells = %d, want %d", got, 25*base.L())
+	}
+	// The Theorem 7 prediction must match what Construct actually builds.
+	k := Key{N: 25, D: 2, AlphaT: 3, AlphaR: 5}
+	duty, err := Build(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := PredictedCells(k, base), int64(25*duty.L()); got != want {
+		t.Fatalf("PredictedCells = %d, but the built schedule occupies %d", got, want)
+	}
+	l, err := BaseFrameLength(25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != base.L() {
+		t.Fatalf("BaseFrameLength = %d, built base L = %d", l, base.L())
+	}
+}

@@ -1,10 +1,11 @@
-package main
+package serve
 
 import (
 	"context"
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/schedcache"
@@ -36,17 +37,26 @@ type campaignRun struct {
 	err    error
 }
 
-// jobsAPI implements the async campaign endpoints:
+// Jobs implements the async campaign endpoints:
 //
 //	POST /jobs        submit a campaign JSON document; returns its run ID
 //	GET  /jobs        list runs in submission order
 //	GET  /jobs/{id}   progress snapshot; full results once done
 //
-// Runs execute in-process on the engine worker pool and share the server's
-// schedule cache, so repeated grid points across campaigns hit warm
-// schedules.
-type jobsAPI struct {
+// Runs execute in-process on the engine worker pool and share the
+// service's schedule cache, so repeated grid points across campaigns hit
+// warm schedules. Every accepted run is tracked by a WaitGroup so a
+// shutting-down server can Drain: wait for accepted work, cancelling it
+// if the drain deadline expires first.
+type Jobs struct {
 	cache *schedcache.Cache
+
+	// baseCtx parents every run; cancel aborts them all when a drain
+	// deadline expires.
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+	draining atomic.Bool
 
 	mu    sync.Mutex
 	runs  map[string]*campaignRun
@@ -54,8 +64,32 @@ type jobsAPI struct {
 	seq   int
 }
 
-func newJobsAPI(cache *schedcache.Cache) *jobsAPI {
-	return &jobsAPI{cache: cache, runs: make(map[string]*campaignRun)}
+// NewJobs builds the campaign API over cache.
+func NewJobs(cache *schedcache.Cache) *Jobs {
+	//lint:ignore ctxcancel cancel is retained on the struct: Drain calls it when its deadline expires, aborting in-flight campaign runs
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Jobs{cache: cache, baseCtx: ctx, cancel: cancel, runs: make(map[string]*campaignRun)}
+}
+
+// Drain blocks until every accepted campaign run has finished. If ctx
+// expires first, the runs are cancelled (the engine honors cancellation
+// promptly), the wait completes, and ctx's error is returned. New
+// submissions are refused once draining starts.
+func (a *Jobs) Drain(ctx context.Context) error {
+	a.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		a.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		a.cancel()
+		<-done
+		return ctx.Err()
+	}
 }
 
 type submitResponse struct {
@@ -77,7 +111,11 @@ type statusResponse struct {
 	Results    []engine.Record `json:"results,omitempty"`
 }
 
-func (a *jobsAPI) handleSubmit(w http.ResponseWriter, r *http.Request) {
+func (a *Jobs) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if a.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("ttdcserve: draining; not accepting campaigns"))
+		return
+	}
 	c, err := engine.DecodeCampaign(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -107,9 +145,10 @@ func (a *jobsAPI) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	a.order = append(a.order, run.id)
 	a.mu.Unlock()
 
-	//lint:ignore waitpair intentionally detached: the run's lifecycle is observed through run.state under run.mu, and maxStoredRuns bounds how many can exist
+	a.wg.Add(1)
 	go func() {
-		rep, err := run.eng.Run(context.Background(), jobs)
+		defer a.wg.Done()
+		rep, err := run.eng.Run(a.baseCtx, jobs)
 		run.mu.Lock()
 		defer run.mu.Unlock()
 		run.report = rep
@@ -126,7 +165,7 @@ func (a *jobsAPI) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (a *jobsAPI) handleGet(w http.ResponseWriter, r *http.Request) {
+func (a *Jobs) handleGet(w http.ResponseWriter, r *http.Request) {
 	a.mu.Lock()
 	run, ok := a.runs[r.PathValue("id")]
 	a.mu.Unlock()
@@ -137,7 +176,7 @@ func (a *jobsAPI) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, run.status(true))
 }
 
-func (a *jobsAPI) handleList(w http.ResponseWriter, r *http.Request) {
+func (a *Jobs) handleList(w http.ResponseWriter, r *http.Request) {
 	a.mu.Lock()
 	ids := append([]string(nil), a.order...)
 	a.mu.Unlock()
@@ -173,7 +212,7 @@ func (run *campaignRun) status(withResults bool) statusResponse {
 }
 
 // metrics aggregates every run's counters for /metrics.
-func (a *jobsAPI) metrics() map[string]int64 {
+func (a *Jobs) metrics() map[string]int64 {
 	a.mu.Lock()
 	ids := append([]string(nil), a.order...)
 	a.mu.Unlock()

@@ -1,6 +1,7 @@
-package main
+package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -10,7 +11,6 @@ import (
 	"time"
 
 	"repro/internal/engine"
-	"repro/internal/schedcache"
 )
 
 func postCampaign(t *testing.T, ts *httptest.Server, doc string) submitResponse {
@@ -63,7 +63,7 @@ func awaitDone(t *testing.T, ts *httptest.Server, id string) statusResponse {
 }
 
 func TestJobsSubmitAndFetch(t *testing.T) {
-	ts := httptest.NewServer(Handler(schedcache.New(0)))
+	ts := httptest.NewServer(NewHandler(NewService(0), Options{}))
 	defer ts.Close()
 
 	sub := postCampaign(t, ts,
@@ -91,7 +91,7 @@ func TestJobsSubmitAndFetch(t *testing.T) {
 }
 
 func TestJobsRejectsBadCampaign(t *testing.T) {
-	ts := httptest.NewServer(Handler(schedcache.New(0)))
+	ts := httptest.NewServer(NewHandler(NewService(0), Options{}))
 	defer ts.Close()
 	for _, doc := range []string{`{"n":[9],"d":[2],"workload":"warp"}`, `{`, `{"n":[],"d":[2]}`} {
 		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(doc))
@@ -114,7 +114,7 @@ func TestJobsRejectsBadCampaign(t *testing.T) {
 }
 
 func TestJobsListAndMetrics(t *testing.T) {
-	ts := httptest.NewServer(Handler(schedcache.New(0)))
+	ts := httptest.NewServer(NewHandler(NewService(0), Options{}))
 	defer ts.Close()
 	var ids []string
 	for i := 0; i < 3; i++ {
@@ -158,5 +158,57 @@ func TestJobsListAndMetrics(t *testing.T) {
 	}
 	if metrics.Engine["campaigns"] != 3 || metrics.Engine["jobs_done"] != 3 {
 		t.Errorf("engine metrics = %v", metrics.Engine)
+	}
+}
+
+// TestDrainWaitsForRuns submits a campaign and drains: Drain must block
+// until the run finishes and then report it done.
+func TestDrainWaitsForRuns(t *testing.T) {
+	svc := NewService(0)
+	ts := httptest.NewServer(NewHandler(svc, Options{}))
+	defer ts.Close()
+
+	sub := postCampaign(t, ts,
+		`{"name":"drain","n":[9,16,25],"d":[2],"duty":[{"alphaT":2,"alphaR":4}],"workload":"flood","frames":50,"seed":7}`)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if st := getStatus(t, ts, sub.ID); st.State == stateRunning {
+		t.Fatalf("campaign still running after Drain: %+v", st)
+	}
+}
+
+// TestDrainCancelledContext drains with an already-cancelled context: the
+// in-flight run is aborted rather than awaited, no run is left in
+// stateRunning afterwards, and new submissions are refused.
+func TestDrainCancelledContext(t *testing.T) {
+	svc := NewService(0)
+	ts := httptest.NewServer(NewHandler(svc, Options{}))
+	defer ts.Close()
+
+	sub := postCampaign(t, ts,
+		`{"name":"abort","n":[25],"d":[2,3],"duty":[{"alphaT":2,"alphaR":4},{"alphaT":3,"alphaR":5}],"workload":"flood","frames":5000,"seed":3}`)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Either the run was cancelled (ctx error) or it finished in the gap
+	// before Drain observed the cancellation; both leave nothing running.
+	if err := svc.Drain(ctx); err != nil && err != context.Canceled {
+		t.Fatalf("Drain: %v", err)
+	}
+	if st := getStatus(t, ts, sub.ID); st.State == stateRunning {
+		t.Fatalf("campaign still running after cancelled Drain: %+v", st)
+	}
+
+	resp, err := http.Post(ts.URL+"/jobs", "application/json",
+		strings.NewReader(`{"n":[9],"d":[2],"workload":"analysis"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //nolint:errcheck // test
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit status %d, want 503", resp.StatusCode)
 	}
 }

@@ -1,0 +1,248 @@
+// Package serve is the transport-agnostic schedule-serving layer behind
+// cmd/ttdcserve. It owns everything between "a validated cache key" and
+// "bytes a fleet client downloads": the memoized schedule construction
+// (internal/schedcache), the per-key serving artifacts — the binary wire
+// frame, the legacy JSON document, and the content digest that becomes
+// the HTTP ETag — and the async campaign runs, with a drain path so a
+// shutting-down server finishes what it accepted.
+//
+// The HTTP handler in http.go is one transport over this layer; tests
+// (and the in-process loadgen ring) drive the same Service through
+// httptest without binding ports.
+package serve
+
+import (
+	"bytes"
+	"container/list"
+	"context"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+
+	ttdc "repro"
+	"repro/internal/core"
+	"repro/internal/schedcache"
+	"repro/internal/wire"
+)
+
+// scheduleResponse is the JSON /schedule payload: the EncodeSchedule wire
+// format embedded verbatim, plus the analysis figures a node (or an
+// operator) wants alongside it. The binary representation carries the
+// same information as a wire.Frame.
+type scheduleResponse struct {
+	// Schedule is the exact EncodeSchedule JSON document
+	// ({"n":..., "t":[[...]], "r":[[...]]}); DecodeSchedule accepts it.
+	Schedule json.RawMessage `json:"schedule"`
+	// Request echo.
+	N        int    `json:"n"`
+	D        int    `json:"d"`
+	AlphaT   int    `json:"alphaT"`
+	AlphaR   int    `json:"alphaR"`
+	Strategy string `json:"strategy"`
+	// Analysis.
+	L                  int     `json:"l"`
+	ActiveFraction     float64 `json:"activeFraction"`
+	AvgThroughput      string  `json:"avgThroughput"` // exact Theorem-2 rational
+	AvgThroughputFloat float64 `json:"avgThroughputFloat"`
+}
+
+// Artifact is everything the serving tier ever sends for one key, built
+// once and immutable afterwards: callers must not mutate the byte slices.
+type Artifact struct {
+	Key   schedcache.Key
+	Frame *wire.Frame
+	// Wire is the binary frame (wire.Encode output).
+	Wire []byte
+	// JSON is the scheduleResponse document, newline-terminated exactly
+	// as the streaming encoder used to produce it.
+	JSON []byte
+	// Digest is the 128-bit hex content digest of Wire; the HTTP layer
+	// derives the per-representation ETag from it.
+	Digest string
+}
+
+// ArtifactStats counts the artifact cache's traffic.
+type ArtifactStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int64 `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+// artifactCache is a small LRU over encoded artifacts. Encoding is cheap
+// next to construction but not next to a warm hit — a fleet pulling the
+// same few hundred keys should not re-serialize a schedule per request.
+type artifactCache struct {
+	capacity int
+
+	mu      sync.Mutex
+	lru     *list.List // element values are *Artifact
+	entries map[schedcache.Key]*list.Element
+	bytes   int64
+
+	hits, misses, evictions atomic.Int64
+}
+
+func newArtifactCache(capacity int) *artifactCache {
+	return &artifactCache{
+		capacity: capacity,
+		lru:      list.New(),
+		entries:  make(map[schedcache.Key]*list.Element),
+	}
+}
+
+func (c *artifactCache) get(k schedcache.Key) (*Artifact, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*Artifact), true
+}
+
+func (c *artifactCache) add(a *Artifact) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[a.Key]; ok { // lost a race with another builder
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[a.Key] = c.lru.PushFront(a)
+	c.bytes += int64(len(a.Wire) + len(a.JSON))
+	for len(c.entries) > c.capacity {
+		tail := c.lru.Back()
+		if tail == nil {
+			break
+		}
+		c.lru.Remove(tail)
+		e := tail.Value.(*Artifact)
+		delete(c.entries, e.Key)
+		c.bytes -= int64(len(e.Wire) + len(e.JSON))
+		c.evictions.Add(1)
+	}
+}
+
+func (c *artifactCache) stats() ArtifactStats {
+	c.mu.Lock()
+	entries, bytes := int64(len(c.entries)), c.bytes
+	c.mu.Unlock()
+	return ArtifactStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   entries,
+		Bytes:     bytes,
+	}
+}
+
+// Service is the transport-agnostic serving core: schedule cache,
+// artifact cache, and async campaign runs.
+type Service struct {
+	cache *schedcache.Cache
+	arts  *artifactCache
+	jobs  *Jobs
+}
+
+// NewService builds a service over a fresh schedule cache of the given
+// capacity (schedcache.DefaultCapacity when <= 0). The artifact cache
+// mirrors the schedule cache's entry capacity.
+func NewService(capacity int) *Service {
+	cache := schedcache.New(capacity)
+	return &Service{
+		cache: cache,
+		arts:  newArtifactCache(cache.Capacity()),
+		jobs:  NewJobs(cache),
+	}
+}
+
+// Cache exposes the schedule cache (stats, warm-path byte budget).
+func (s *Service) Cache() *schedcache.Cache { return s.cache }
+
+// Jobs exposes the async campaign API.
+func (s *Service) Jobs() *Jobs { return s.jobs }
+
+// ArtifactStats snapshots the artifact cache counters.
+func (s *Service) ArtifactStats() ArtifactStats { return s.arts.stats() }
+
+// Artifact returns the serving artifact for k, building and caching the
+// schedule and its encodings on first use. The bool reports whether the
+// artifact came from the artifact cache (a fully warm hit).
+func (s *Service) Artifact(k schedcache.Key) (*Artifact, bool, error) {
+	if a, ok := s.arts.get(k); ok {
+		return a, true, nil
+	}
+	sched, err := s.cache.Get(k)
+	if err != nil {
+		return nil, false, err
+	}
+	a, err := buildArtifact(k, sched)
+	if err != nil {
+		return nil, false, err
+	}
+	s.arts.add(a)
+	return a, false, nil
+}
+
+// Schedule is the warmer's entry point: it fills both caches for k and
+// returns the schedule.
+func (s *Service) Schedule(k schedcache.Key) (*core.Schedule, error) {
+	a, _, err := s.Artifact(k)
+	if err != nil {
+		return nil, err
+	}
+	return a.Frame.Schedule, nil
+}
+
+// buildArtifact encodes both representations and the content digest.
+func buildArtifact(k schedcache.Key, sched *core.Schedule) (*Artifact, error) {
+	frame := &wire.Frame{
+		N: k.N, D: k.D, AlphaT: k.AlphaT, AlphaR: k.AlphaR, Strategy: k.Strategy,
+		Schedule:       sched,
+		AvgThroughput:  core.AvgThroughput(sched, k.D),
+		ActiveFraction: sched.ActiveFraction(),
+	}
+	wireBytes, err := wire.Encode(frame)
+	if err != nil {
+		return nil, err
+	}
+	var sj bytes.Buffer
+	if err := ttdc.EncodeSchedule(&sj, sched); err != nil {
+		return nil, err
+	}
+	doc := scheduleResponse{
+		Schedule:           json.RawMessage(bytes.TrimSpace(sj.Bytes())),
+		N:                  k.N,
+		D:                  k.D,
+		AlphaT:             k.AlphaT,
+		AlphaR:             k.AlphaR,
+		Strategy:           schedcache.StrategyName(k.Strategy),
+		L:                  sched.L(),
+		ActiveFraction:     frame.ActiveFraction,
+		AvgThroughput:      frame.AvgThroughput.RatString(),
+		AvgThroughputFloat: ttdc.RatFloat(frame.AvgThroughput),
+	}
+	jsonBytes, err := json.Marshal(doc)
+	if err != nil {
+		return nil, err
+	}
+	jsonBytes = append(jsonBytes, '\n')
+	return &Artifact{
+		Key:    k,
+		Frame:  frame,
+		Wire:   wireBytes,
+		JSON:   jsonBytes,
+		Digest: wire.Digest(wireBytes),
+	}, nil
+}
+
+// Drain waits for every accepted campaign run to finish. If ctx expires
+// first, the runs are cancelled, the wait completes (the engine honors
+// cancellation promptly), and ctx's error is returned.
+func (s *Service) Drain(ctx context.Context) error {
+	return s.jobs.Drain(ctx)
+}

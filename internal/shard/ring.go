@@ -1,0 +1,121 @@
+// Package shard turns N independent ttdcserve processes into one serving
+// tier for the (n, D, αT, αR, strategy) keyspace. Schedules are pure
+// functions of their key, so any peer can build any schedule — sharding
+// is purely a cache-efficiency decision: if every key has one owner, the
+// fleet's aggregate cache holds N× more distinct schedules than any
+// single LRU, and a warm request never constructs twice anywhere.
+//
+// Ownership comes from a consistent-hash ring over the peers' base URLs
+// (replicated virtual nodes smooth the key distribution, and adding or
+// removing one peer moves only ~1/N of the keyspace). Requests for keys a
+// peer does not own are forwarded one hop to the owner — never more: the
+// forwarded request carries a loop-guard header, and a peer that receives
+// a guarded request for a key it does not own answers 421 instead of
+// forwarding again, so misconfigured rings degrade loudly rather than
+// looping silently. A per-peer failure counter with backoff keeps a dead
+// owner from stalling the tier: after enough consecutive failures the
+// forwarder serves those keys locally until the backoff expires.
+//
+// The package also hosts the background warmer, which walks the reachable
+// duty-point lattice of configured (n, D) classes and precomputes the
+// schedules this peer owns, budgeted by Theorem 7's closed-form frame
+// length so warm cost is known before any work is done.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-node count per peer when a Ring is built
+// with replicas <= 0. 128 vnodes keep the per-peer keyspace share within
+// a few percent of uniform for small fleets.
+const DefaultReplicas = 128
+
+// Ring is an immutable consistent-hash ring over peer base URLs. All
+// methods are safe for concurrent use.
+type Ring struct {
+	peers  []string // sorted unique peer names
+	hashes []uint64 // sorted virtual-node positions
+	owners []string // owners[i] owns arc ending at hashes[i]
+}
+
+// hash64 is the ring's position function: FNV-1a, chosen because it is
+// deterministic across processes, platforms, and Go versions — every
+// peer must compute identical ownership from identical configuration.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // fnv never errors
+	return h.Sum64()
+}
+
+// NewRing builds a ring over the given peers with the given virtual-node
+// replication (DefaultReplicas when <= 0). Peers are deduplicated; at
+// least one is required.
+func NewRing(peers []string, replicas int) (*Ring, error) {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	uniq := make(map[string]bool, len(peers))
+	var sorted []string
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("shard: empty peer name")
+		}
+		if !uniq[p] {
+			uniq[p] = true
+			sorted = append(sorted, p)
+		}
+	}
+	if len(sorted) == 0 {
+		return nil, fmt.Errorf("shard: ring needs at least one peer")
+	}
+	sort.Strings(sorted)
+
+	type vnode struct {
+		h     uint64
+		owner string
+	}
+	vnodes := make([]vnode, 0, len(sorted)*replicas)
+	for _, p := range sorted {
+		for i := 0; i < replicas; i++ {
+			vnodes = append(vnodes, vnode{h: hash64(fmt.Sprintf("%s#%d", p, i)), owner: p})
+		}
+	}
+	// Sort by position; on the (astronomically unlikely) equal-hash tie,
+	// the lexicographically smaller owner wins on every peer alike.
+	sort.Slice(vnodes, func(i, j int) bool {
+		if vnodes[i].h != vnodes[j].h {
+			return vnodes[i].h < vnodes[j].h
+		}
+		return vnodes[i].owner < vnodes[j].owner
+	})
+	r := &Ring{
+		peers:  sorted,
+		hashes: make([]uint64, len(vnodes)),
+		owners: make([]string, len(vnodes)),
+	}
+	for i, v := range vnodes {
+		r.hashes[i] = v.h
+		r.owners[i] = v.owner
+	}
+	return r, nil
+}
+
+// Owner returns the peer owning key (its canonical string form,
+// schedcache.Key.Canonical): the first virtual node at or clockwise after
+// the key's position.
+func (r *Ring) Owner(key string) string {
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0 // wrap past the top of the ring
+	}
+	return r.owners[i]
+}
+
+// Peers returns the sorted unique peer list.
+func (r *Ring) Peers() []string {
+	return append([]string(nil), r.peers...)
+}

@@ -1,0 +1,126 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/schedcache"
+)
+
+func TestRingDeterministic(t *testing.T) {
+	peers := []string{"http://c", "http://a", "http://b"}
+	r1, err := NewRing(peers, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same membership in any order (plus duplicates) must yield identical
+	// ownership — every peer computes the ring from its own config.
+	r2, err := NewRing([]string{"http://b", "http://b", "http://a", "http://c"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		k := schedcache.Key{N: 9 + i, D: 2, AlphaT: 1 + i%5, AlphaR: 1 + i%7}.Canonical()
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("key %s: owners disagree (%s vs %s)", k, r1.Owner(k), r2.Owner(k))
+		}
+	}
+	if got := r1.Peers(); len(got) != 3 || got[0] != "http://a" || got[2] != "http://c" {
+		t.Fatalf("Peers() = %v", got)
+	}
+}
+
+// TestRingOwnershipPinned pins a few concrete assignments: any change to
+// the hash function, vnode naming, or tie-break silently reshards every
+// deployed fleet, so it must show up in review as a test diff.
+func TestRingOwnershipPinned(t *testing.T) {
+	r, err := NewRing([]string{"http://peer0", "http://peer1", "http://peer2"}, DefaultReplicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pins := map[string]string{
+		"n=9&D=2&alphaT=0&alphaR=0&strategy=sequential":   "http://peer2",
+		"n=25&D=2&alphaT=3&alphaR=5&strategy=sequential":  "http://peer0",
+		"n=25&D=2&alphaT=3&alphaR=5&strategy=balanced":    "http://peer1",
+		"n=121&D=3&alphaT=4&alphaR=9&strategy=sequential": "http://peer1",
+	}
+	for k, want := range pins {
+		if got := r.Owner(k); got != want {
+			t.Errorf("Owner(%s) = %s, want %s", k, got, want)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	const peers = 4
+	names := make([]string, peers)
+	for i := range names {
+		names[i] = fmt.Sprintf("http://peer%d", i)
+	}
+	r, err := NewRing(names, DefaultReplicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	total := 0
+	for n := 5; n <= 60; n++ {
+		for at := 0; at <= 4; at++ {
+			for ar := 0; ar <= 4; ar++ {
+				k := schedcache.Key{N: n, D: 2, AlphaT: at, AlphaR: ar}.Canonical()
+				counts[r.Owner(k)]++
+				total++
+			}
+		}
+	}
+	// 128 vnodes/peer won't be perfectly uniform, but no peer should own
+	// more than twice or less than a third of its fair share.
+	fair := total / peers
+	for _, name := range names {
+		c := counts[name]
+		if c < fair/3 || c > 2*fair {
+			t.Fatalf("peer %s owns %d of %d keys (fair share %d): %v", name, c, total, fair, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement: removing one peer may only move keys that the
+// removed peer owned — consistent hashing's defining property.
+func TestRingMinimalMovement(t *testing.T) {
+	all := []string{"http://a", "http://b", "http://c", "http://d"}
+	rAll, err := NewRing(all, DefaultReplicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLess, err := NewRing(all[:3], DefaultReplicas) // drop http://d
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, kept := 0, 0
+	for i := 0; i < 2000; i++ {
+		k := schedcache.Key{N: 5 + i, D: 2}.Canonical()
+		before, after := rAll.Owner(k), rLess.Owner(k)
+		if before == after {
+			kept++
+			continue
+		}
+		if before != "http://d" {
+			t.Fatalf("key %s moved %s -> %s though its owner survived", k, before, after)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Fatal("dropping a peer moved no keys at all")
+	}
+	if kept == 0 {
+		t.Fatal("dropping a peer moved every key")
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"http://a", ""}, 8); err == nil {
+		t.Fatal("empty peer name accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeWire hardens the binary entry point the fleet path trusts:
+// arbitrary bytes must never panic or over-allocate, and — the canonical-
+// form contract — any input that decodes must re-encode to exactly the
+// bytes it came from, so the content digest is a stable identity. The
+// checked-in corpus under testdata/fuzz/FuzzDecodeWire holds valid
+// frames, truncations, CRC damage, and varint pathologies; f.Add seeds
+// below regenerate the interesting shapes from the live encoder so the
+// corpus tracks format changes.
+func FuzzDecodeWire(f *testing.F) {
+	for _, frame := range frameMatrix(f) {
+		enc, err := Encode(frame)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		f.Add(enc[:len(enc)-3]) // truncated inside the CRC
+		f.Add(enc[:len(enc)/2]) // truncated mid-payload
+		bad := append([]byte(nil), enc...)
+		bad[len(bad)/2] ^= 0x20 // CRC mismatch
+		f.Add(bad)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("TTDW"))
+	f.Add([]byte("TTDW\x01"))
+	f.Add([]byte("TTDW\x02\x00"))                                     // unknown version
+	f.Add([]byte("TTDW\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x02")) // oversized varint length
+	f.Add([]byte("TTDW\x01\x02\x82\x00\x00\x00\x00\x00"))             // non-minimal varint
+	f.Add([]byte("JSON{\"n\":3}"))                                    // wrong protocol entirely
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Encode(frame)
+		if err != nil {
+			t.Fatalf("decoded frame does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("non-canonical input decoded: %d bytes in, %d bytes re-encoded", len(data), len(re))
+		}
+		if Digest(re) != Digest(data) {
+			t.Fatal("digest mismatch on identical bytes")
+		}
+	})
+}
