@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build lint lint-sarif lint-bench test race race-conc race-sim fuzz bench bench-serve benchall serve
+.PHONY: check vet build lint lint-sarif lint-bench test race race-conc race-sim race-sim-par fuzz bench bench-serve bench-scale benchall serve
 
-check: vet build lint test race race-conc race-sim
+check: vet build lint test race race-conc race-sim race-sim-par
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +52,14 @@ race-conc:
 race-sim:
 	$(GO) test -race ./internal/sim/... ./internal/engine/...
 
+# The intra-run sharded kernels: word-range workers writing pooled scratch
+# with no locks. The multi-word differential test (shards=1 vs N byte
+# identity at n=130) under the race detector is the proof that the ranges
+# really are disjoint; `race-sim` covers the package too, but this names
+# the gate and gives a fast loop when touching shard.go or the kernels.
+race-sim-par:
+	$(GO) test -race -run 'Shard' ./internal/sim/
+
 # Short smoke runs of every fuzz target (seeds always run under plain
 # `go test`; this explores a little beyond them).
 fuzz:
@@ -77,6 +85,17 @@ bench: lint-bench bench-serve
 		| $(GO) run ./cmd/ttdcbench -o BENCH_core.json
 	$(GO) test -run xxx -bench . -benchmem -benchtime 1s ./internal/sim \
 		| $(GO) run ./cmd/ttdcbench -o BENCH_sim.json
+
+# The TTDC_SCALE campaign: the n=10^5 convergecast grid and the n=10^6
+# saturation frame, one iteration each (the runs are seconds long and
+# deterministic — averaging adds minutes, not information), merged into
+# BENCH_sim.json next to the standard entries. Each entry records
+# GOMAXPROCS, NumCPU, and the process peak RSS (VmHWM) in its "extra" map,
+# and ttdcbench derives the Shards1/ShardsMax speedup pairs. Non-gating,
+# like `bench`.
+bench-scale:
+	TTDC_SCALE=1 $(GO) test -run xxx -bench Scale -benchmem -benchtime 1x -timeout 60m ./internal/sim \
+		| $(GO) run ./cmd/ttdcbench -merge -o BENCH_sim.json
 
 # End-to-end serving-tier load: a 3-peer in-process consistent-hash ring
 # driven by the ttdcload generator (zipf key mix, ETag revalidation, wire

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/engine"
@@ -44,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		journal  = fs.String("journal", "", "JSONL journal path: checkpoint finished jobs, resume on rerun")
 		format   = fs.String("format", "table", "output format: table | csv | jsonl")
 		progress = fs.Bool("progress", false, "print a live progress line to stderr")
+		shards   = fs.Int("shards", 0, "intra-run shards per job kernel: overrides the campaign doc; -1 = one per CPU (results identical at every value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,9 +69,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	jobs, err := engine.Jobs(c, schedcache.New(0))
+	if *shards != 0 {
+		c.Shards = *shards
+	}
+	// Campaign documents here come from the operator, not the network, so
+	// the cache takes TrustedLimits — million-node single-job campaigns
+	// are a supported workload, not an attack.
+	jobs, err := engine.Jobs(c, schedcache.NewTrusted(0))
 	if err != nil {
 		return err
+	}
+	// A campaign that expands to a single job gets no job-level
+	// parallelism; move the workers inside the job instead. Sharding
+	// cannot change results, so this is purely a scheduling decision.
+	if c.Shards == 0 && len(jobs) == 1 && effectiveWorkers(*workers) > 1 {
+		c.Shards = -1
+		if jobs, err = engine.Jobs(c, schedcache.NewTrusted(0)); err != nil {
+			return err
+		}
+		fmt.Fprintln(stderr, "ttdcbatch: single-job campaign, sharding the run across CPUs (-shards -1)")
 	}
 
 	opts := engine.Options{Workers: *workers}
@@ -112,6 +130,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		len(rep.Records), len(rep.Records)-len(rep.FailedIDs()), len(rep.FailedIDs()), rep.Skipped,
 		rep.Elapsed.Round(time.Millisecond))
 	return nil
+}
+
+// effectiveWorkers mirrors engine.New's worker-count resolution.
+func effectiveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
 }
 
 // emit renders the report. jsonl reprints the journal records verbatim;

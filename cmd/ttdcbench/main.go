@@ -7,12 +7,22 @@
 //   - <Prefix>Workers1 / <Prefix>WorkersMax — the engine's serial-vs-
 //     parallel sweep and campaign wall-clock comparison;
 //   - <Prefix>Naive / <Prefix>Prefix — the old-vs-new kernel comparison
-//     of internal/core's prefix-cached verification rewrite.
+//     of internal/core's prefix-cached verification rewrite;
+//   - <Prefix>Legacy / <Prefix>Fast — the sim reference loop vs the
+//     struct-of-arrays kernels;
+//   - <Prefix>Shards1 / <Prefix>ShardsMax — the sequential kernel vs the
+//     sharded slot kernel at one shard per CPU.
 //
-// Usage (see the Makefile bench target):
+// Custom b.ReportMetric units (peakRSS-MB, gomaxprocs, numcpu from the
+// TTDC_SCALE benchmarks) land in each benchmark's "extra" map. -merge folds
+// a run into an existing file instead of replacing it, so the scale entries
+// coexist with the standard ones.
+//
+// Usage (see the Makefile bench and bench-scale targets):
 //
 //	go test -run xxx -bench . -benchmem ./internal/engine | ttdcbench -o BENCH_engine.json
 //	go test -run xxx -bench . -benchmem ./internal/core | ttdcbench -o BENCH_core.json
+//	TTDC_SCALE=1 go test -run xxx -bench Scale -benchtime 1x ./internal/sim | ttdcbench -merge -o BENCH_sim.json
 package main
 
 import (
@@ -34,6 +44,11 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"nsPerOp"`
 	BytesPerOp  float64 `json:"bytesPerOp,omitempty"`
 	AllocsPerOp float64 `json:"allocsPerOp,omitempty"`
+	// Extra holds custom b.ReportMetric units the line carried beyond the
+	// standard three — the scale benchmarks report "peakRSS-MB",
+	// "gomaxprocs", and "numcpu" so a number taken on an affinity-pinned
+	// host explains itself.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Speedup is one derived before/after wall-clock ratio: Workers1 vs
@@ -69,6 +84,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("ttdcbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("o", "", "output file (empty = stdout)")
+	merge := fs.Bool("merge", false, "merge into an existing -o file instead of replacing it (same-name benchmarks are updated, others kept)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,6 +94,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	if len(doc.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines on stdin (is -bench running?)")
+	}
+	if *merge && *out != "" {
+		if err := mergeExisting(doc, *out); err != nil {
+			return err
+		}
 	}
 	payload, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -92,6 +113,48 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stderr, "ttdcbench: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+	return nil
+}
+
+// mergeExisting folds the benchmarks already recorded in path into doc:
+// entries the new run re-measured are replaced, everything else is kept in
+// its original order ahead of the new names, and the speedup pairs are
+// re-derived over the union. This is how `make bench-scale` adds the
+// TTDC_SCALE entries to BENCH_sim.json without clobbering the standard
+// `make bench` results. A missing file is not an error — merge into nothing
+// is a plain write.
+func mergeExisting(doc *File, path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var prev File
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return fmt.Errorf("merge %s: %w", path, err)
+	}
+	fresh := make(map[string]Benchmark, len(doc.Benchmarks))
+	for _, b := range doc.Benchmarks {
+		fresh[b.Name] = b
+	}
+	merged := make([]Benchmark, 0, len(prev.Benchmarks)+len(doc.Benchmarks))
+	for _, b := range prev.Benchmarks {
+		if nb, ok := fresh[b.Name]; ok {
+			merged = append(merged, nb)
+			delete(fresh, b.Name)
+		} else {
+			merged = append(merged, b)
+		}
+	}
+	for _, b := range doc.Benchmarks {
+		if _, ok := fresh[b.Name]; ok {
+			merged = append(merged, b)
+		}
+	}
+	doc.Benchmarks = merged
+	doc.Speedups = deriveSpeedups(merged)
 	return nil
 }
 
@@ -151,11 +214,16 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		if err != nil {
 			continue
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "B/op":
 			b.BytesPerOp = v
 		case "allocs/op":
 			b.AllocsPerOp = v
+		default:
+			if b.Extra == nil {
+				b.Extra = make(map[string]float64)
+			}
+			b.Extra[unit] = v
 		}
 	}
 	return b, true
@@ -166,6 +234,7 @@ var speedupPairs = []struct{ base, comp string }{
 	{"Workers1", "WorkersMax"}, // engine serial vs worker pool
 	{"Naive", "Prefix"},        // core naive scan vs prefix-cached kernel
 	{"Legacy", "Fast"},         // sim reference loop vs struct-of-arrays path
+	{"Shards1", "ShardsMax"},   // sim sequential kernel vs sharded slot kernel
 }
 
 // deriveSpeedups pairs benchmarks whose names differ only by a recognized

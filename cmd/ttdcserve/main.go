@@ -85,6 +85,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	var (
 		addr     = fs.String("addr", ":8080", "listen address")
 		capacity = fs.Int("cache", schedcache.DefaultCapacity, "max cached schedules (LRU)")
+		artBytes = fs.Int64("artifact-bytes", 0, "artifact cache byte budget (0 = 64 MiB)")
 		maxAge   = fs.Int("max-age", serve.DefaultMaxAge, "Cache-Control max-age seconds (negative disables)")
 		grace    = fs.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests and campaign runs")
 
@@ -103,7 +104,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	svc := serve.NewService(*capacity)
+	svc := serve.NewServiceBytes(*capacity, *artBytes)
 	opts := serve.Options{MaxAge: *maxAge}
 	if *maxAge == 0 {
 		opts.MaxAge = -1 // flag 0 means "no header"; Options 0 means default

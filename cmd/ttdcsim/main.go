@@ -46,6 +46,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		guard  = fs.Float64("guard", 0.1, "guard band as a fraction of the slot")
 		resync = fs.Int("resync", 0, "slots between resynchronizations (0 = never)")
 		legacy = fs.Bool("legacy", false, "run the slot-by-slot reference loop instead of the fast path")
+		shards = fs.Int("shards", 0, "intra-run shards for the fast-path kernels: 0/1 sequential, -1 one per CPU (results identical at every value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,7 +79,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 
 	switch *mode {
 	case "saturation":
-		runSat := ttdc.RunSaturation
+		runSat := func(g *ttdc.Graph, s *ttdc.Schedule, frames int, em ttdc.EnergyModel) (*ttdc.SaturationResult, error) {
+			return ttdc.RunSaturationSharded(g, s, frames, em, *shards)
+		}
 		if *legacy {
 			runSat = ttdc.RunSaturationLegacy
 		}
@@ -95,7 +98,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	case "convergecast":
 		res, err := ttdc.RunConvergecast(g, s, ttdc.ConvergecastConfig{
 			Sink: *sink, Rate: *rate, Frames: *frames, Seed: *seed,
-			Channel: channel, Clock: clock, Legacy: *legacy,
+			Channel: channel, Clock: clock, Legacy: *legacy, Shards: *shards,
 		})
 		if err != nil {
 			return err

@@ -15,12 +15,18 @@ import (
 const (
 	// MaxJobs bounds Expand's output.
 	MaxJobs = 1 << 16
-	// MaxCampaignN bounds per-job class sizes: the engine exists to run
-	// many jobs, and a single n beyond this is a schedule-construction
-	// problem, not a campaign.
-	MaxCampaignN = 1 << 12
+	// MaxCampaignN bounds per-job class sizes. Streaming CSR topologies
+	// and the sharded kernels put million-node single-job campaigns in
+	// reach, so the bound is a sanity cap against typo-sized grids rather
+	// than a memory guard; the dense-only topology models (geometric,
+	// random) are additionally rejected at job time above
+	// topology.DenseLimit, where they would materialize O(n²) bits.
+	MaxCampaignN = 1 << 21
 	// maxAxis bounds each grid axis's entry count.
 	maxAxis = 1 << 12
+	// maxShards bounds the intra-run shard count; the kernels clamp to the
+	// scratch word count anyway, this just rejects nonsense documents.
+	maxShards = 1 << 10
 	// maxFrames and maxReplications bound per-job simulation length and
 	// per-point repetition.
 	maxFrames       = 1 << 16
@@ -67,6 +73,13 @@ type Campaign struct {
 	Frames int     `json:"frames,omitempty"`
 	Rate   float64 `json:"rate,omitempty"`
 	Sink   int     `json:"sink,omitempty"`
+	// Shards splits each job's slot kernel across word-aligned node
+	// ranges: 0 or 1 runs sequentially, -1 uses one shard per CPU.
+	// Results are byte-identical at every value — sharding one oversized
+	// job trades the engine's job-level parallelism for intra-run
+	// parallelism without touching the determinism contract. Ignored by
+	// the analysis and flood workloads.
+	Shards int `json:"shards,omitempty"`
 	// Replications repeats every grid point with a distinct per-job seed
 	// (0 = 1).
 	Replications int `json:"replications,omitempty"`
@@ -91,11 +104,14 @@ type JobSpec struct {
 	Frames       int     `json:"frames"`
 	Rate         float64 `json:"rate,omitempty"`
 	Sink         int     `json:"sink,omitempty"`
+	Shards       int     `json:"shards,omitempty"`
 	Rep          int     `json:"rep"`
 }
 
 // ID names the job in journals and tables, e.g.
-// "polynomial/n25/D2/aT3-aR5/regular/saturation/r0".
+// "polynomial/n25/D2/aT3-aR5/regular/saturation/r0". Shards is
+// deliberately absent: shard counts cannot change results, so a journal
+// written at one count resumes cleanly at another.
 func (sp JobSpec) ID() string {
 	return fmt.Sprintf("%s/n%d/D%d/aT%d-aR%d/%s/%s/r%d",
 		sp.Construction, sp.N, sp.D, sp.AlphaT, sp.AlphaR, sp.Topology, sp.Workload, sp.Rep)
@@ -201,6 +217,9 @@ func (c *Campaign) Validate() error {
 	if cc.Replications < 1 || cc.Replications > maxReplications {
 		return fmt.Errorf("engine: replications = %d outside [1, %d]", cc.Replications, maxReplications)
 	}
+	if cc.Shards < -1 || cc.Shards > maxShards {
+		return fmt.Errorf("engine: shards = %d outside [-1, %d]", cc.Shards, maxShards)
+	}
 	total := len(cc.N) * len(cc.D) * len(cc.Duty) * cc.Replications
 	if total > MaxJobs {
 		return fmt.Errorf("engine: campaign expands to %d jobs, max %d", total, MaxJobs)
@@ -235,6 +254,7 @@ func (c *Campaign) Expand() ([]JobSpec, error) {
 						Frames:       cc.Frames,
 						Rate:         cc.Rate,
 						Sink:         cc.Sink,
+						Shards:       cc.Shards,
 						Rep:          rep,
 					})
 				}

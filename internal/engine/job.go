@@ -8,6 +8,7 @@ import (
 	ttdc "repro"
 	"repro/internal/schedcache"
 	"repro/internal/stats"
+	"repro/internal/topology"
 )
 
 // Metrics is the JSON payload of one campaign job's record. One flat
@@ -131,6 +132,76 @@ func (km *kernelMemo) get(key kernelKey) (*ttdc.SaturationKernel, error) {
 	return e.k, e.err
 }
 
+// graphKey identifies a deterministic topology build. Only the
+// seed-independent models (regular, ring, grid) are memoized; geometric
+// and random graphs differ per replication and stay per-job.
+type graphKey struct {
+	topology string
+	n, d     int
+}
+
+// graphMemo shares deterministic topology builds across the jobs of one
+// campaign with singleflight semantics. At the million-node end a single
+// CSR build is seconds of work and tens of megabytes; replications and
+// duty points of one grid point must not repeat it.
+type graphMemo struct {
+	mu sync.Mutex
+	m  map[graphKey]*graphEntry
+}
+
+type graphEntry struct {
+	once sync.Once
+	g    *ttdc.Graph
+	err  error
+}
+
+func (gm *graphMemo) get(k graphKey, build func() (*ttdc.Graph, error)) (*ttdc.Graph, error) {
+	gm.mu.Lock()
+	e, ok := gm.m[k]
+	if !ok {
+		e = &graphEntry{}
+		gm.m[k] = e
+	}
+	gm.mu.Unlock()
+	e.once.Do(func() { e.g, e.err = build() })
+	return e.g, e.err
+}
+
+// ccKernelKey identifies a convergecast fast-path kernel: schedule and
+// graph by pointer (both deduplicated through their campaign memos) plus
+// the sink. Jobs whose graph is per-job (geometric, random) never reach
+// the memo, so entries cannot leak one-shot graphs.
+type ccKernelKey struct {
+	s    *ttdc.Schedule
+	g    *ttdc.Graph
+	sink int
+}
+
+// ccKernelMemo shares convergecast kernels across a campaign's
+// replications with singleflight semantics.
+type ccKernelMemo struct {
+	mu sync.Mutex
+	m  map[ccKernelKey]*ccKernelEntry
+}
+
+type ccKernelEntry struct {
+	once sync.Once
+	k    *ttdc.ConvergecastKernel
+	err  error
+}
+
+func (km *ccKernelMemo) get(key ccKernelKey) (*ttdc.ConvergecastKernel, error) {
+	km.mu.Lock()
+	e, ok := km.m[key]
+	if !ok {
+		e = &ccKernelEntry{}
+		km.m[key] = e
+	}
+	km.mu.Unlock()
+	e.once.Do(func() { e.k, e.err = ttdc.NewConvergecastKernel(key.g, key.s, key.sink) })
+	return e.k, e.err
+}
+
 // Jobs expands the campaign and binds each spec to an executable engine
 // Job. Job i's seed is stats.DeriveSeed(c.Seed, i), so a job's result
 // depends only on the campaign seed and its own index — never on worker
@@ -145,6 +216,8 @@ func Jobs(c *Campaign, cache *schedcache.Cache) ([]Job, error) {
 	seed := c.Seed
 	memo := &schedMemo{m: make(map[schedKey]*schedEntry)}
 	kernels := &kernelMemo{m: make(map[kernelKey]*kernelEntry)}
+	graphs := &graphMemo{m: make(map[graphKey]*graphEntry)}
+	ccKernels := &ccKernelMemo{m: make(map[ccKernelKey]*ccKernelEntry)}
 	jobs := make([]Job, len(specs))
 	for i, spec := range specs {
 		spec := spec
@@ -153,7 +226,7 @@ func Jobs(c *Campaign, cache *schedcache.Cache) ([]Job, error) {
 			ID:   spec.ID(),
 			Seed: jobSeed,
 			Run: func(ctx context.Context) (any, error) {
-				return executeJob(ctx, spec, jobSeed, cache, memo, kernels)
+				return executeJob(ctx, spec, jobSeed, cache, memo, kernels, graphs, ccKernels)
 			},
 		}
 	}
@@ -163,10 +236,11 @@ func Jobs(c *Campaign, cache *schedcache.Cache) ([]Job, error) {
 // ExecuteJob runs one grid point: build (or fetch) the schedule, build the
 // topology from the job seed, run the workload, and collect metrics.
 func ExecuteJob(ctx context.Context, spec JobSpec, seed uint64, cache *schedcache.Cache) (*Metrics, error) {
-	return executeJob(ctx, spec, seed, cache, nil, nil)
+	return executeJob(ctx, spec, seed, cache, nil, nil, nil, nil)
 }
 
-func executeJob(ctx context.Context, spec JobSpec, seed uint64, cache *schedcache.Cache, memo *schedMemo, kernels *kernelMemo) (*Metrics, error) {
+func executeJob(ctx context.Context, spec JobSpec, seed uint64, cache *schedcache.Cache,
+	memo *schedMemo, kernels *kernelMemo, graphs *graphMemo, ccKernels *ccKernelMemo) (*Metrics, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -183,7 +257,7 @@ func executeJob(ctx context.Context, spec JobSpec, seed uint64, cache *schedcach
 		m.AvgThroughputFloat = ttdc.RatFloat(avg)
 		return m, nil
 	}
-	g, err := buildTopology(spec, seed)
+	g, err := buildTopology(spec, seed, graphs)
 	if err != nil {
 		m.Release()
 		return nil, err
@@ -201,9 +275,9 @@ func executeJob(ctx context.Context, spec JobSpec, seed uint64, cache *schedcach
 				m.Release()
 				return nil, kerr
 			}
-			res, err = k.Run(g, spec.Frames, ttdc.DefaultEnergy())
+			res, err = k.RunSharded(g, spec.Frames, ttdc.DefaultEnergy(), spec.Shards)
 		} else {
-			res, err = ttdc.RunSaturation(g, s, spec.Frames, ttdc.DefaultEnergy())
+			res, err = ttdc.RunSaturationSharded(g, s, spec.Frames, ttdc.DefaultEnergy(), spec.Shards)
 		}
 		if err != nil {
 			m.Release()
@@ -215,9 +289,23 @@ func executeJob(ctx context.Context, spec JobSpec, seed uint64, cache *schedcach
 		m.TotalEnergy = res.TotalEnergy
 		m.SimActiveFraction = res.ActiveFraction
 	case "convergecast":
-		res, err := ttdc.RunConvergecast(g, s, ttdc.ConvergecastConfig{
+		cfg := ttdc.ConvergecastConfig{
 			Sink: spec.Sink, Rate: spec.Rate, Frames: spec.Frames, Seed: seed,
-		})
+			Shards: spec.Shards,
+		}
+		var res *ttdc.ConvergecastResult
+		if ccKernels != nil && deterministicTopology(spec.Topology) {
+			// Campaign path: the graph came from the campaign memo, so the
+			// (schedule, graph, sink) kernel is shared across replications.
+			k, kerr := ccKernels.get(ccKernelKey{s: s, g: g, sink: spec.Sink})
+			if kerr != nil {
+				m.Release()
+				return nil, kerr
+			}
+			res, err = k.Run(cfg)
+		} else {
+			res, err = ttdc.RunConvergecast(g, s, cfg)
+		}
 		if err != nil {
 			m.Release()
 			return nil, err
@@ -275,10 +363,9 @@ func buildSchedule(spec JobSpec, cache *schedcache.Cache, memo *schedMemo) (*ttd
 
 func buildScheduleDirect(spec JobSpec, strategy ttdc.DivisionStrategy, cache *schedcache.Cache) (*ttdc.Schedule, error) {
 	if spec.Construction == "polynomial" && cache != nil {
+		// Get validates against the cache's own limits — serving bounds
+		// for HTTP-fed caches, TrustedLimits for the local CLIs.
 		key := schedcache.Key{N: spec.N, D: spec.D, AlphaT: spec.AlphaT, AlphaR: spec.AlphaR, Strategy: strategy}
-		if err := key.Validate(); err != nil {
-			return nil, err
-		}
 		return cache.Get(key)
 	}
 	var base *ttdc.Schedule
@@ -306,11 +393,28 @@ func buildScheduleDirect(spec JobSpec, strategy ttdc.DivisionStrategy, cache *sc
 	})
 }
 
+// deterministicTopology reports whether the model is seed-independent —
+// the precondition for sharing its graphs (and downstream kernels) across
+// a campaign's jobs.
+func deterministicTopology(kind string) bool {
+	return kind == "regular" || kind == "ring" || kind == "grid"
+}
+
 // buildTopology realizes the job's graph. The RNG is rooted at the job
 // seed, so randomized topologies differ across replications but are
-// identical across reruns of the same job.
-func buildTopology(spec JobSpec, seed uint64) (*ttdc.Graph, error) {
-	rng := stats.NewRNG(seed)
+// identical across reruns of the same job. Deterministic models go through
+// the campaign graph memo when one is supplied; the seeded models are
+// rejected above the dense-representation limit, where their per-node
+// bitsets would cost O(n²) bits.
+func buildTopology(spec JobSpec, seed uint64, graphs *graphMemo) (*ttdc.Graph, error) {
+	if graphs != nil && deterministicTopology(spec.Topology) {
+		return graphs.get(graphKey{topology: spec.Topology, n: spec.N, d: spec.D},
+			func() (*ttdc.Graph, error) { return buildTopologyDirect(spec, seed) })
+	}
+	return buildTopologyDirect(spec, seed)
+}
+
+func buildTopologyDirect(spec JobSpec, seed uint64) (*ttdc.Graph, error) {
 	switch spec.Topology {
 	case "regular":
 		return ttdc.Regularish(spec.N, spec.D), nil
@@ -322,6 +426,13 @@ func buildTopology(spec JobSpec, seed uint64) (*ttdc.Graph, error) {
 			side++
 		}
 		return ttdc.Grid(side, side), nil
+	}
+	if spec.N > topology.DenseLimit {
+		return nil, fmt.Errorf("engine: topology %q builds dense per-node bitsets; n = %d exceeds the dense limit %d (use regular, ring, or grid at this scale)",
+			spec.Topology, spec.N, topology.DenseLimit)
+	}
+	rng := stats.NewRNG(seed)
+	switch spec.Topology {
 	case "geometric":
 		dep := ttdc.RandomGeometric(spec.N, spec.Radius, rng)
 		dep.Graph.EnforceMaxDegree(spec.D, rng)

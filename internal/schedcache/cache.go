@@ -48,14 +48,42 @@ const MaxN = 1 << 16
 // rejection is O(1)-ish, never a partial build.
 const maxBuildCells = 1 << 26
 
-// Validate reports whether the key can possibly name a schedule, before
-// any construction work is attempted.
-func (k Key) Validate() error {
+// Limits bounds what a cache will validate and construct. The right
+// bounds depend on who is asking: a serving deployment takes keys from
+// the network and must cap what one request can allocate, while an
+// operator running a local campaign asked for that footprint on purpose.
+type Limits struct {
+	// MaxN bounds the class size n.
+	MaxN int
+	// MaxCells bounds the n×L schedule footprint, checked against closed
+	// forms before any materialization.
+	MaxCells int64
+}
+
+// ServingLimits is the default: sized for untrusted input (the HTTP
+// serving tier), where one request must not allocate a million-node
+// schedule.
+var ServingLimits = Limits{MaxN: MaxN, MaxCells: maxBuildCells}
+
+// TrustedLimits is for operator-driven local tooling (ttdcbatch,
+// ttdcsweep): wide enough for the million-node scale campaigns the CSR
+// topologies and sharded kernels make tractable — n = 10^6 at d = 4
+// resolves to L = 289, ~3·10^8 cells — while still refusing typo-sized
+// grids.
+var TrustedLimits = Limits{MaxN: 1 << 21, MaxCells: 1 << 31}
+
+// Validate reports whether the key can possibly name a schedule within
+// the serving bounds; Limits.Validate takes explicit bounds.
+func (k Key) Validate() error { return ServingLimits.Validate(k) }
+
+// Validate reports whether the key can possibly name a schedule within
+// lim, before any construction work is attempted.
+func (lim Limits) Validate(k Key) error {
 	if k.N < 2 {
 		return fmt.Errorf("schedcache: n = %d < 2", k.N)
 	}
-	if k.N > MaxN {
-		return fmt.Errorf("schedcache: n = %d exceeds the serving bound %d", k.N, MaxN)
+	if k.N > lim.MaxN {
+		return fmt.Errorf("schedcache: n = %d exceeds the serving bound %d", k.N, lim.MaxN)
 	}
 	if k.D < 1 || k.D > k.N-1 {
 		return fmt.Errorf("schedcache: D = %d outside [1, %d]", k.D, k.N-1)
@@ -149,6 +177,7 @@ type entry struct {
 // New. All methods are safe for concurrent use.
 type Cache struct {
 	capacity int
+	limits   Limits
 
 	mu       sync.Mutex
 	lru      *list.List // front = most recently used; element values are *entry
@@ -164,13 +193,22 @@ type Cache struct {
 const DefaultCapacity = 1024
 
 // New returns a cache holding at most capacity schedules (DefaultCapacity
-// when capacity <= 0).
-func New(capacity int) *Cache {
+// when capacity <= 0), bounded by ServingLimits.
+func New(capacity int) *Cache { return NewWithLimits(capacity, ServingLimits) }
+
+// NewTrusted is New with TrustedLimits: for local operator tooling whose
+// keys were typed by the person who will watch the memory they allocate.
+func NewTrusted(capacity int) *Cache { return NewWithLimits(capacity, TrustedLimits) }
+
+// NewWithLimits returns a cache holding at most capacity schedules
+// (DefaultCapacity when capacity <= 0) validating keys against lim.
+func NewWithLimits(capacity int, lim Limits) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
 	return &Cache{
 		capacity: capacity,
+		limits:   lim,
 		lru:      list.New(),
 		entries:  make(map[Key]*list.Element),
 		inflight: make(map[Key]*call),
@@ -179,6 +217,9 @@ func New(capacity int) *Cache {
 
 // Capacity returns the maximum number of cached schedules.
 func (c *Cache) Capacity() int { return c.capacity }
+
+// Limits returns the validation bounds this cache was built with.
+func (c *Cache) Limits() Limits { return c.limits }
 
 // Len returns the current number of cached schedules.
 func (c *Cache) Len() int {
@@ -212,7 +253,7 @@ func (c *Cache) Stats() Stats {
 // share the returned pointer freely but must not mutate through unsafe
 // means.
 func (c *Cache) Get(k Key) (*core.Schedule, error) {
-	if err := k.Validate(); err != nil {
+	if err := c.limits.Validate(k); err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
@@ -234,7 +275,7 @@ func (c *Cache) Get(k Key) (*core.Schedule, error) {
 	c.mu.Unlock()
 
 	c.constructions.Add(1)
-	s, err := Build(k)
+	s, err := BuildLimited(k, c.limits)
 
 	c.mu.Lock()
 	delete(c.inflight, k)
@@ -319,17 +360,21 @@ func PredictedCells(k Key, ns *core.Schedule) int64 {
 // (orthogonal-array) topology-transparent non-sleeping schedule for
 // N(n, D), duty-cycled through the paper's Construct algorithm when the
 // (αT, αR) caps are set. Exported so benchmarks and servers can measure
-// the cold path the cache amortizes.
-func Build(k Key) (*core.Schedule, error) {
+// the cold path the cache amortizes. Budgeted by ServingLimits;
+// BuildLimited takes explicit bounds.
+func Build(k Key) (*core.Schedule, error) { return BuildLimited(k, ServingLimits) }
+
+// BuildLimited is Build with an explicit n×L budget.
+func BuildLimited(k Key, lim Limits) (*core.Schedule, error) {
 	// The parameter search is a cheap scalar loop; budget-check the
 	// resulting frame before materializing n member sets over it.
 	params, err := cff.FindPolynomialParams(k.N, k.D)
 	if err != nil {
 		return nil, err
 	}
-	if cost := int64(k.N) * int64(params.FrameLength()); cost > maxBuildCells {
+	if cost := int64(k.N) * int64(params.FrameLength()); cost > lim.MaxCells {
 		return nil, fmt.Errorf("schedcache: base schedule for N(%d, %d) needs frame length %d; n×L = %d exceeds the build budget %d",
-			k.N, k.D, params.FrameLength(), cost, maxBuildCells)
+			k.N, k.D, params.FrameLength(), cost, lim.MaxCells)
 	}
 	fam, err := cff.PolynomialFor(k.N, k.D)
 	if err != nil {
@@ -349,9 +394,9 @@ func Build(k Key) (*core.Schedule, error) {
 	// it against the budget before running the expansion.
 	aStar := core.OptimalTransmittersCapped(k.N, k.D, k.AlphaT)
 	lFinal := core.ConstructedFrameLength(ns, aStar, k.AlphaR)
-	if cost := int64(k.N) * int64(lFinal); cost > maxBuildCells {
+	if cost := int64(k.N) * int64(lFinal); cost > lim.MaxCells {
 		return nil, fmt.Errorf("schedcache: (%d, %d)-schedule for N(%d, %d) needs frame length %d; n×L = %d exceeds the build budget %d",
-			k.AlphaT, k.AlphaR, k.N, k.D, lFinal, cost, maxBuildCells)
+			k.AlphaT, k.AlphaR, k.N, k.D, lFinal, cost, lim.MaxCells)
 	}
 	return core.Construct(ns, core.ConstructOptions{
 		AlphaT:   k.AlphaT,

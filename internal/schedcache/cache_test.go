@@ -75,6 +75,30 @@ func TestKeyValidate(t *testing.T) {
 	}
 }
 
+// TestTrustedLimits pins the serving/trusted split: the same key that the
+// network-facing bounds reject builds fine through a trusted cache.
+func TestTrustedLimits(t *testing.T) {
+	k := Key{N: MaxN + 1, D: 2}
+	if _, err := New(2).Get(k); err == nil {
+		t.Fatal("serving cache accepted n above MaxN")
+	}
+	c := NewTrusted(2)
+	if got := c.Limits(); got != TrustedLimits {
+		t.Fatalf("Limits() = %+v, want TrustedLimits", got)
+	}
+	s, err := c.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() < k.N {
+		t.Fatalf("trusted build covers %d nodes, want >= %d", s.N(), k.N)
+	}
+	// Trusted is not unbounded: a typo-sized class still fails fast.
+	if _, err := c.Get(Key{N: TrustedLimits.MaxN + 1, D: 2}); err == nil {
+		t.Fatal("trusted cache accepted n above TrustedLimits.MaxN")
+	}
+}
+
 func TestConstructionErrorNotCached(t *testing.T) {
 	c := New(4)
 	// αT + αR > n is rejected by Construct after the (cheap) base build.

@@ -61,32 +61,49 @@ type Artifact struct {
 	Digest string
 }
 
-// ArtifactStats counts the artifact cache's traffic.
+// ArtifactStats counts the artifact cache's traffic. EvictedBytes is the
+// cumulative size of everything evicted, so an operator can tell a cache
+// that churns gigabytes through a tight budget from one that evicted a few
+// cold entries once.
 type ArtifactStats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Evictions int64 `json:"evictions"`
-	Entries   int64 `json:"entries"`
-	Bytes     int64 `json:"bytes"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Entries       int64 `json:"entries"`
+	Bytes         int64 `json:"bytes"`
+	CapacityBytes int64 `json:"capacityBytes"`
+	EvictedBytes  int64 `json:"evictedBytes"`
 }
 
-// artifactCache is a small LRU over encoded artifacts. Encoding is cheap
-// next to construction but not next to a warm hit — a fleet pulling the
-// same few hundred keys should not re-serialize a schedule per request.
+// DefaultArtifactBytes bounds the artifact cache when no explicit budget
+// is configured. Entry-count capacity alone is no bound at all here: one
+// n=4096 schedule's wire+JSON encodings outweigh thousands of small ones,
+// so a count-capped cache could quietly hold gigabytes.
+const DefaultArtifactBytes int64 = 64 << 20
+
+// artifactCache is a small LRU over encoded artifacts, bounded both by
+// entry count and by encoded bytes. Encoding is cheap next to construction
+// but not next to a warm hit — a fleet pulling the same few hundred keys
+// should not re-serialize a schedule per request.
 type artifactCache struct {
 	capacity int
+	maxBytes int64
 
 	mu      sync.Mutex
 	lru     *list.List // element values are *Artifact
 	entries map[schedcache.Key]*list.Element
 	bytes   int64
 
-	hits, misses, evictions atomic.Int64
+	hits, misses, evictions, evictedBytes atomic.Int64
 }
 
-func newArtifactCache(capacity int) *artifactCache {
+func newArtifactCache(capacity int, maxBytes int64) *artifactCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultArtifactBytes
+	}
 	return &artifactCache{
 		capacity: capacity,
+		maxBytes: maxBytes,
 		lru:      list.New(),
 		entries:  make(map[schedcache.Key]*list.Element),
 	}
@@ -114,7 +131,11 @@ func (c *artifactCache) add(a *Artifact) {
 	}
 	c.entries[a.Key] = c.lru.PushFront(a)
 	c.bytes += int64(len(a.Wire) + len(a.JSON))
-	for len(c.entries) > c.capacity {
+	// Evict from the cold end until both bounds hold. An artifact bigger
+	// than the whole byte budget evicts everything including itself: the
+	// budget is a hard ceiling, oversized artifacts are just never cached
+	// (the caller already holds the one it built).
+	for len(c.entries) > c.capacity || c.bytes > c.maxBytes {
 		tail := c.lru.Back()
 		if tail == nil {
 			break
@@ -122,8 +143,10 @@ func (c *artifactCache) add(a *Artifact) {
 		c.lru.Remove(tail)
 		e := tail.Value.(*Artifact)
 		delete(c.entries, e.Key)
-		c.bytes -= int64(len(e.Wire) + len(e.JSON))
+		sz := int64(len(e.Wire) + len(e.JSON))
+		c.bytes -= sz
 		c.evictions.Add(1)
+		c.evictedBytes.Add(sz)
 	}
 }
 
@@ -132,11 +155,13 @@ func (c *artifactCache) stats() ArtifactStats {
 	entries, bytes := int64(len(c.entries)), c.bytes
 	c.mu.Unlock()
 	return ArtifactStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Entries:   entries,
-		Bytes:     bytes,
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Entries:       entries,
+		Bytes:         bytes,
+		CapacityBytes: c.maxBytes,
+		EvictedBytes:  c.evictedBytes.Load(),
 	}
 }
 
@@ -150,12 +175,19 @@ type Service struct {
 
 // NewService builds a service over a fresh schedule cache of the given
 // capacity (schedcache.DefaultCapacity when <= 0). The artifact cache
-// mirrors the schedule cache's entry capacity.
+// mirrors the schedule cache's entry capacity and is additionally bounded
+// by DefaultArtifactBytes of encoded payload.
 func NewService(capacity int) *Service {
+	return NewServiceBytes(capacity, 0)
+}
+
+// NewServiceBytes is NewService with an explicit artifact-cache byte
+// budget (<= 0 means DefaultArtifactBytes).
+func NewServiceBytes(capacity int, artifactBytes int64) *Service {
 	cache := schedcache.New(capacity)
 	return &Service{
 		cache: cache,
-		arts:  newArtifactCache(cache.Capacity()),
+		arts:  newArtifactCache(cache.Capacity(), artifactBytes),
 		jobs:  NewJobs(cache),
 	}
 }

@@ -235,20 +235,24 @@ type PeerMetrics struct {
 	InBackoff bool   `json:"inBackoff"`
 }
 
-// Metrics is the forwarder's /metrics fragment.
+// Metrics is the forwarder's /metrics fragment. OwnershipShares maps every
+// ring peer (self included) to its fraction of the hash keyspace, so
+// forward-count skew can be read against the keyspace split that causes it.
 type Metrics struct {
-	Self           string        `json:"self"`
-	Peers          []PeerMetrics `json:"peers"`
-	LoopRejects    int64         `json:"loopRejects"`
-	LocalFallbacks int64         `json:"localFallbacks"`
+	Self            string             `json:"self"`
+	Peers           []PeerMetrics      `json:"peers"`
+	OwnershipShares map[string]float64 `json:"ownershipShares"`
+	LoopRejects     int64              `json:"loopRejects"`
+	LocalFallbacks  int64              `json:"localFallbacks"`
 }
 
 // Metrics snapshots routing health, peers sorted by name.
 func (f *Forwarder) Metrics() Metrics {
 	m := Metrics{
-		Self:           f.self,
-		LoopRejects:    f.loopRejects.Load(),
-		LocalFallbacks: f.localFallbacks.Load(),
+		Self:            f.self,
+		OwnershipShares: f.ring.OwnershipShares(),
+		LoopRejects:     f.loopRejects.Load(),
+		LocalFallbacks:  f.localFallbacks.Load(),
 	}
 	f.mu.Lock()
 	now := f.now()

@@ -25,6 +25,7 @@ package shard
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sort"
 )
 
@@ -118,4 +119,28 @@ func (r *Ring) Owner(key string) string {
 // Peers returns the sorted unique peer list.
 func (r *Ring) Peers() []string {
 	return append([]string(nil), r.peers...)
+}
+
+// OwnershipShares returns each peer's fraction of the hash keyspace: the
+// summed length of the arcs its virtual nodes own, as a fraction of 2⁶⁴.
+// Virtual node i owns the arc (hashes[i-1], hashes[i]]; the first owns the
+// wrap-around arc past the top of the ring, which uint64 subtraction
+// computes directly (hashes[0] - hashes[last] mod 2⁶⁴). The shares sum to
+// 1 up to float64 rounding and quantify how uneven the vnode smoothing
+// actually left the keyspace — a fleet operator reads them next to the
+// per-peer forward counters to tell hash skew from hot keys.
+func (r *Ring) OwnershipShares() map[string]float64 {
+	shares := make(map[string]float64, len(r.peers))
+	for _, p := range r.peers {
+		shares[p] = 0
+	}
+	if len(r.hashes) == 1 {
+		shares[r.owners[0]] = 1
+		return shares
+	}
+	for i, h := range r.hashes {
+		prev := r.hashes[(i+len(r.hashes)-1)%len(r.hashes)]
+		shares[r.owners[i]] += math.Ldexp(float64(h-prev), -64)
+	}
+	return shares
 }

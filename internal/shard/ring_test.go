@@ -116,6 +116,65 @@ func TestRingMinimalMovement(t *testing.T) {
 	}
 }
 
+// TestRingOwnershipShares checks the analytic keyspace shares: they sum to
+// 1, every peer owns a sane slice, a single-peer ring owns everything, and
+// the shares agree with the empirical key distribution they predict.
+func TestRingOwnershipShares(t *testing.T) {
+	const peers = 4
+	names := make([]string, peers)
+	for i := range names {
+		names[i] = fmt.Sprintf("http://peer%d", i)
+	}
+	r, err := NewRing(names, DefaultReplicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := r.OwnershipShares()
+	if len(shares) != peers {
+		t.Fatalf("shares for %d peers, want %d: %v", len(shares), peers, shares)
+	}
+	sum := 0.0
+	for _, name := range names {
+		s := shares[name]
+		if s < 1.0/(3*peers) || s > 2.0/peers {
+			t.Fatalf("peer %s owns share %.4f, outside [1/3, 2]x fair: %v", name, s, shares)
+		}
+		sum += s
+	}
+	if sum < 1-1e-9 || sum > 1+1e-9 {
+		t.Fatalf("shares sum to %.12f, want 1", sum)
+	}
+
+	// The analytic shares and the sampled Owner() distribution describe
+	// the same ring; with ~14k sampled keys they should agree within a few
+	// points of keyspace.
+	counts := make(map[string]int)
+	total := 0
+	for n := 5; n <= 60; n++ {
+		for at := 0; at <= 4; at++ {
+			for ar := 0; ar <= 4; ar++ {
+				k := schedcache.Key{N: n, D: 2, AlphaT: at, AlphaR: ar}.Canonical()
+				counts[r.Owner(k)]++
+				total++
+			}
+		}
+	}
+	for _, name := range names {
+		empirical := float64(counts[name]) / float64(total)
+		if diff := empirical - shares[name]; diff < -0.05 || diff > 0.05 {
+			t.Fatalf("peer %s: empirical share %.4f vs analytic %.4f", name, empirical, shares[name])
+		}
+	}
+
+	solo, err := NewRing([]string{"http://only"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := solo.OwnershipShares(); s["http://only"] != 1 {
+		t.Fatalf("single-vnode ring shares = %v, want 1", s)
+	}
+}
+
 func TestRingErrors(t *testing.T) {
 	if _, err := NewRing(nil, 8); err == nil {
 		t.Fatal("empty ring accepted")

@@ -51,6 +51,14 @@ type ConvergecastConfig struct {
 	// transmissions, deliveries, collisions, drops) for debugging and
 	// post-mortem analysis.
 	Tracer trace.Tracer
+	// Shards splits the fast path's per-slot contention scatter across
+	// goroutines owning word-aligned receiver ranges: 0 or 1 runs
+	// sequentially, negative uses one shard per CPU. Results are
+	// byte-identical at every shard count (the RNG-consuming generation
+	// and the queue-mutating resolution stay sequential; only the
+	// order-insensitive contention counting fans out). Ignored by the
+	// legacy loop.
+	Shards int
 	// Legacy forces the per-node reference loop even where the
 	// struct-of-arrays fast path applies (schedule-driven MAC, ideal
 	// channel, perfect sync, no tracer). The zero value — fast path on —
@@ -214,7 +222,14 @@ func RunConvergecastProtocol(g *topology.Graph, proto Protocol, cfg Convergecast
 	}
 	if sp, ok := proto.(ScheduleProtocol); ok && !cfg.Legacy &&
 		cfg.Channel.ideal() && cfg.Clock == nil && cfg.Tracer == nil {
-		return runConvergecastFast(g, sp, cfg, parent, maxQ, em, rateAt)
+		// One-shot kernel: campaigns that replay one (graph, schedule,
+		// sink) triple should build a ConvergecastKernel once and call
+		// Run per configuration instead.
+		k, err := NewConvergecastKernel(g, sp.S, cfg.Sink)
+		if err != nil {
+			return nil, err
+		}
+		return k.run(cfg, maxQ, em, rateAt), nil
 	}
 	return runConvergecastLegacy(g, proto, cfg, parent, maxQ, em, clock, rateAt)
 }

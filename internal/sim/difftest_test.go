@@ -62,6 +62,29 @@ func assertSaturationIdentical(t *testing.T, g *topology.Graph, s *core.Schedule
 	if !reflect.DeepEqual(fast, legacy) {
 		t.Fatalf("saturation fast path diverged from legacy:\nfast:   %+v\nlegacy: %+v", fast, legacy)
 	}
+	// Shard counts and the CSR representation must change nothing. At small
+	// n the word-aligned ranges collapse to one shard (the clamp is itself
+	// worth covering); TestShardedKernelsWordRanges exercises real
+	// multi-shard splits.
+	for _, shards := range []int{0, 2, 3, -1} {
+		sharded, err := RunSaturationSharded(g, s, frames, em, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(sharded, fast) {
+			t.Fatalf("shards=%d diverged from sequential:\nsharded: %+v\nseq:     %+v", shards, sharded, fast)
+		}
+	}
+	cg := g.Compress()
+	for _, shards := range []int{1, 2} {
+		cfast, err := RunSaturationSharded(cg, s, frames, em, shards)
+		if err != nil {
+			t.Fatalf("csr shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(cfast, fast) {
+			t.Fatalf("csr shards=%d diverged from dense:\ncsr:   %+v\ndense: %+v", shards, cfast, fast)
+		}
+	}
 }
 
 func assertConvergecastIdentical(t *testing.T, g *topology.Graph, s *core.Schedule, cfg ConvergecastConfig) {
@@ -81,6 +104,27 @@ func assertConvergecastIdentical(t *testing.T, g *topology.Graph, s *core.Schedu
 	}
 	if !reflect.DeepEqual(fast, legacy) {
 		t.Fatalf("convergecast fast path diverged from legacy:\nfast:   %+v\nlegacy: %+v", fast, legacy)
+	}
+	// Sweep shard counts and the CSR representation against the sequential
+	// fast result — cfg.Shards must be invisible in the output.
+	cfg.Legacy = false
+	cg := g.Compress()
+	for _, shards := range []int{2, -1} {
+		cfg.Shards = shards
+		sharded, err := RunConvergecast(g, s, cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(sharded, fast) {
+			t.Fatalf("shards=%d diverged from sequential:\nsharded: %+v\nseq:     %+v", shards, sharded, fast)
+		}
+		csr, err := RunConvergecast(cg, s, cfg)
+		if err != nil {
+			t.Fatalf("csr shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(csr, fast) {
+			t.Fatalf("csr shards=%d diverged from dense:\ncsr:   %+v\ndense: %+v", shards, csr, fast)
+		}
 	}
 }
 
@@ -198,6 +242,56 @@ func TestSaturationKernelErrors(t *testing.T) {
 	assertSaturationIdentical(t, topology.Ring(3), s, 0, DefaultEnergy())
 }
 
+// TestShardedKernelsWordRanges runs the kernels at n = 130 — three scratch
+// words, so resolveShards keeps real multi-shard splits and the worker
+// goroutines actually run — and requires shards ∈ {2, 3, per-CPU} to
+// reproduce the shards=1 result bit for bit, on both representations.
+// `make race-sim-par` runs this under the race detector, which would flag
+// any overlap in the word ranges the workers write.
+func TestShardedKernelsWordRanges(t *testing.T) {
+	const n = 130
+	s := polySchedule(t, n, 3)
+	graphs := map[string]*topology.Graph{
+		"ring":    topology.Ring(n),
+		"grid":    topology.Grid(10, 13),
+		"regular": topology.Regularish(n, 4),
+	}
+	ccCfg := ConvergecastConfig{Sink: 0, Rate: 0.4, Frames: 3, WarmupFrames: 1, Seed: 11}
+	for gname, g := range graphs {
+		for repr, gg := range map[string]*topology.Graph{"dense": g, "csr": g.Compress()} {
+			t.Run(gname+"/"+repr, func(t *testing.T) {
+				satSeq, err := RunSaturationSharded(gg, s, 2, DefaultEnergy(), 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := ccCfg
+				cfg.Shards = 1
+				ccSeq, err := RunConvergecast(gg, s, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, shards := range []int{2, 3, -1} {
+					satPar, err := RunSaturationSharded(gg, s, 2, DefaultEnergy(), shards)
+					if err != nil {
+						t.Fatalf("shards=%d: %v", shards, err)
+					}
+					if !reflect.DeepEqual(satPar, satSeq) {
+						t.Fatalf("saturation shards=%d diverged from shards=1", shards)
+					}
+					cfg.Shards = shards
+					ccPar, err := RunConvergecast(gg, s, cfg)
+					if err != nil {
+						t.Fatalf("shards=%d: %v", shards, err)
+					}
+					if !reflect.DeepEqual(ccPar, ccSeq) {
+						t.Fatalf("convergecast shards=%d diverged from shards=1", shards)
+					}
+				}
+			})
+		}
+	}
+}
+
 // fuzzSchedule decodes 2 bits per (node, slot) into a schedule: 1 →
 // transmit, 2 → receive, 0/3 → sleep. Disjointness is structural, so
 // FromSets always accepts.
@@ -252,6 +346,7 @@ func FuzzSimEquivalence(f *testing.F) {
 	f.Add([]byte{9, 5, 200, 9, 0xff, 0x00, 0x55, 0xaa, 0x12})
 	f.Add([]byte{3, 1, 42, 250, 0x99, 0x42})
 	f.Add([]byte{7, 3, 77, 128, 0x24, 0x8d, 0xe1, 0x5a, 0x36, 0x6d})
+	f.Add([]byte{8, 4, 31, 65, 0x6d, 0xb6, 0x49, 0x92, 0x24, 0xdb}) // parallel-kernel seed: Shards = 2
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 4 {
 			return
@@ -274,6 +369,7 @@ func FuzzSimEquivalence(f *testing.F) {
 			MaxQueue:     int(data[1]) % 3, // 0 means the 64 default
 			WarmupFrames: int(data[2]) % 2,
 			Seed:         seed,
+			Shards:       int(data[0]) % 3, // the asserts re-sweep shard counts anyway
 		}
 		assertConvergecastIdentical(t, g, s, cfg)
 	})

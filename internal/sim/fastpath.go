@@ -39,7 +39,7 @@ func finishSaturation(res *SaturationResult, g *topology.Graph, em EnergyModel, 
 	id := 0
 	for u := 0; u < n; u++ {
 		delivered[u] = make(map[int]int)
-		g.NeighborSet(u).ForEach(func(v int) bool {
+		g.ForEachNeighbor(u, func(v int) bool {
 			d := linkCounts[id]
 			id++
 			if d > 0 {
@@ -138,24 +138,16 @@ func (k *SaturationKernel) N() int { return k.n }
 // satFastScratch is the per-run working state of the fast path, pooled so a
 // campaign of many runs reuses one buffer set per worker.
 type satFastScratch struct {
-	once, many, x1 []uint64 // L-bit rows: transmit-count parity, ≥2, exactly-1
-	offset, cursor []int    // u-major link-id assignment during the v-major scan
-	linkCounts     []int    // whole-run deliveries per directed link, u-major
+	offset, cursor []int // u-major link-id assignment during the transpose
+	vmaj           []int // whole-run deliveries per directed link, v-major
+	linkCounts     []int // whole-run deliveries per directed link, u-major
 }
 
 var satFastPool = sync.Pool{New: func() any { return new(satFastScratch) }}
 
-// reset sizes the scratch for lw-word slot rows, n nodes, and nLinks
-// directed links, and clears what must start zeroed.
-func (sc *satFastScratch) reset(lw, n, nLinks int) {
-	if cap(sc.once) < lw {
-		sc.once = make([]uint64, lw)
-		sc.many = make([]uint64, lw)
-		sc.x1 = make([]uint64, lw)
-	}
-	sc.once = sc.once[:lw]
-	sc.many = sc.many[:lw]
-	sc.x1 = sc.x1[:lw]
+// reset sizes the scratch for n nodes and nLinks directed links, and clears
+// what must start zeroed.
+func (sc *satFastScratch) reset(n, nLinks int) {
 	if cap(sc.offset) < n {
 		sc.offset = make([]int, n)
 		sc.cursor = make([]int, n)
@@ -165,10 +157,31 @@ func (sc *satFastScratch) reset(lw, n, nLinks int) {
 	for i := range sc.cursor {
 		sc.cursor[i] = 0
 	}
-	if cap(sc.linkCounts) < nLinks {
+	if cap(sc.vmaj) < nLinks {
+		sc.vmaj = make([]int, nLinks)
 		sc.linkCounts = make([]int, nLinks)
 	}
+	sc.vmaj = sc.vmaj[:nLinks]
 	sc.linkCounts = sc.linkCounts[:nLinks]
+}
+
+// satShardScratch is one shard worker's private slot rows, pooled
+// separately from the run-wide scratch so shards=N runs borrow N row sets.
+type satShardScratch struct {
+	once, many, x1 []uint64 // L-bit rows: transmit-count parity, ≥2, exactly-1
+}
+
+var satShardPool = sync.Pool{New: func() any { return new(satShardScratch) }}
+
+func (ss *satShardScratch) reset(lw int) {
+	if cap(ss.once) < lw {
+		ss.once = make([]uint64, lw)
+		ss.many = make([]uint64, lw)
+		ss.x1 = make([]uint64, lw)
+	}
+	ss.once = ss.once[:lw]
+	ss.many = ss.many[:lw]
+	ss.x1 = ss.x1[:lw]
 }
 
 // Run executes a saturation run on g using the word-parallel fast path. The
@@ -179,39 +192,29 @@ func (sc *satFastScratch) reset(lw, n, nLinks int) {
 // is field-for-field identical to RunSaturationLegacy on the same inputs
 // (pinned by the differential matrix and fuzz harness in this package).
 func (k *SaturationKernel) Run(g *topology.Graph, frames int, em EnergyModel) (*SaturationResult, error) {
-	if g.N() != k.n {
-		return nil, fmt.Errorf("sim: kernel built for %d nodes but graph has %d", k.n, g.N())
-	}
-	if frames < 1 {
-		return nil, fmt.Errorf("sim: frames = %d", frames)
-	}
-	n, l, lw := k.n, k.l, k.lw
-	res := &SaturationResult{
-		Frames:        frames,
-		SlotsPerFrame: l,
-	}
-	// u-major link ids: offset[u] is the id of u's first outgoing link.
-	nLinks := 0
-	sc := satFastPool.Get().(*satFastScratch)
-	defer satFastPool.Put(sc)
-	sc.reset(lw, n, 2*g.EdgeCount())
-	for u := 0; u < n; u++ {
-		sc.offset[u] = nLinks
-		nLinks += g.Degree(u)
-	}
-	once, many, x1 := sc.once, sc.many, sc.x1
-	collPerFrame := 0
-	maxGap := 0
-	// Receiver-major frame resolution: for each receiver v, a saturating
-	// two-bit counter over its neighbours' transmit-slot words yields the
-	// slots with exactly one transmitting neighbour (once &^ many) and with
-	// two or more (many) in O(deg(v) · L/64) word operations.
-	for v := 0; v < n; v++ {
+	return k.RunSharded(g, frames, em, 1)
+}
+
+// resolveRange resolves the receiver rows [lo, hi) of one frame: for each
+// receiver v, a saturating two-bit counter over its neighbours'
+// transmit-slot words yields the slots with exactly one transmitting
+// neighbour (once &^ many) and with two or more (many) in
+// O(deg(v) · L/64) word operations, then each incoming link's delivery
+// count and inter-delivery gaps are read off x1 ∩ tran(u). Whole-run
+// per-link counts are written to vmaj in v-major order (the write range is
+// vmaj[inOff[lo]:inOff[hi]], disjoint across shards). Returns the range's
+// per-frame collision-slot count and its maximum inter-delivery gap.
+func (k *SaturationKernel) resolveRange(g *topology.Graph, lo, hi, frames int,
+	ss *satShardScratch, inOff []int, vmaj []int) (collPerFrame, maxGap int) {
+	l, lw := k.l, k.lw
+	once, many, x1 := ss.once, ss.many, ss.x1
+	id := inOff[lo]
+	for v := lo; v < hi; v++ {
 		for j := range once {
 			once[j] = 0
 			many[j] = 0
 		}
-		g.NeighborSet(v).ForEach(func(u int) bool {
+		g.ForEachNeighbor(v, func(u int) bool {
 			tw := k.tran[u]
 			for j := range once {
 				carry := once[j] & tw[j]
@@ -231,7 +234,7 @@ func (k *SaturationKernel) Run(g *topology.Graph, frames int, em EnergyModel) (*
 		// the whole run follow from the periodic pattern: consecutive
 		// in-frame gaps, plus the frame-wrap gap when the run has a second
 		// frame for the pattern to repeat into.
-		g.NeighborSet(v).ForEach(func(u int) bool {
+		g.ForEachNeighbor(v, func(u int) bool {
 			tw := k.tran[u]
 			cnt := 0
 			first, prev := -1, -1
@@ -256,9 +259,89 @@ func (k *SaturationKernel) Run(g *topology.Graph, frames int, em EnergyModel) (*
 					maxGap = gap
 				}
 			}
-			id := sc.offset[u] + sc.cursor[u]
+			vmaj[id] = cnt * frames
+			id++
+			return true
+		})
+	}
+	return collPerFrame, maxGap
+}
+
+// RunSharded is Run with the receiver-major frame resolution split across
+// the given number of shards (see resolveShards for the count semantics:
+// 0 or 1 sequential, negative one per CPU). Each shard resolves a
+// contiguous word-aligned receiver range into its own pooled slot rows and
+// a disjoint v-major span of the shared per-link counters; the shards'
+// collision and gap counters are then merged in ascending shard order.
+// Integer sums and maxima are associative, so the result is byte-identical
+// at every shard count — RunSharded(g, f, em, n) and Run(g, f, em) return
+// reflect.DeepEqual results (pinned by the differential matrix and fuzz
+// harness in this package).
+func (k *SaturationKernel) RunSharded(g *topology.Graph, frames int, em EnergyModel, shards int) (*SaturationResult, error) {
+	if g.N() != k.n {
+		return nil, fmt.Errorf("sim: kernel built for %d nodes but graph has %d", k.n, g.N())
+	}
+	if frames < 1 {
+		return nil, fmt.Errorf("sim: frames = %d", frames)
+	}
+	n, lw := k.n, k.lw
+	res := &SaturationResult{
+		Frames:        frames,
+		SlotsPerFrame: k.l,
+	}
+	// u-major link ids: offset[u] is the id of u's first outgoing link. The
+	// same prefix array gives the v-major spans (in-neighbours equal
+	// out-neighbours in an undirected graph).
+	nLinks := 0
+	sc := satFastPool.Get().(*satFastScratch)
+	defer satFastPool.Put(sc)
+	sc.reset(n, 2*g.EdgeCount())
+	for u := 0; u < n; u++ {
+		sc.offset[u] = nLinks
+		nLinks += g.Degree(u)
+	}
+	collPerFrame := 0
+	maxGap := 0
+	ranges := shardRanges(n, resolveShards(shards, n))
+	if len(ranges) == 1 {
+		ss := satShardPool.Get().(*satShardScratch)
+		ss.reset(lw)
+		collPerFrame, maxGap = k.resolveRange(g, 0, n, frames, ss, sc.offset, sc.vmaj)
+		satShardPool.Put(ss)
+	} else {
+		colls := make([]int, len(ranges))
+		gaps := make([]int, len(ranges))
+		var wg sync.WaitGroup
+		for si, r := range ranges {
+			wg.Add(1)
+			//lint:ignore poolescape the goroutine reads sc.offset/sc.vmaj only until wg.Done; wg.Wait below joins every shard before the deferred Put releases sc
+			go func(si, lo, hi int) {
+				defer wg.Done()
+				ss := satShardPool.Get().(*satShardScratch)
+				ss.reset(lw)
+				colls[si], gaps[si] = k.resolveRange(g, lo, hi, frames, ss, sc.offset, sc.vmaj)
+				satShardPool.Put(ss)
+			}(si, r[0], r[1])
+		}
+		wg.Wait()
+		// Deterministic ascending-shard reduction (order-insensitive for
+		// integer + and max, kept explicit as the documented discipline).
+		for si := range ranges {
+			collPerFrame += colls[si]
+			if gaps[si] > maxGap {
+				maxGap = gaps[si]
+			}
+		}
+	}
+	// Sequential v-major → u-major transpose: the id assignment below visits
+	// links in exactly the order the pre-shard implementation wrote them, so
+	// linkCounts is bit-for-bit the array finishSaturation always consumed.
+	id := 0
+	for v := 0; v < n; v++ {
+		g.ForEachNeighbor(v, func(u int) bool {
+			sc.linkCounts[sc.offset[u]+sc.cursor[u]] = sc.vmaj[id]
 			sc.cursor[u]++
-			sc.linkCounts[id] = cnt * frames
+			id++
 			return true
 		})
 	}

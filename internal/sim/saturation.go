@@ -99,6 +99,18 @@ func RunSaturation(g *topology.Graph, s *core.Schedule, frames int, em EnergyMod
 	return k.Run(g, frames, em)
 }
 
+// RunSaturationSharded is RunSaturation with the receiver-major frame
+// resolution split across shards (0 or 1 sequential, negative one per
+// CPU). Results are byte-identical at every shard count; see
+// SaturationKernel.RunSharded.
+func RunSaturationSharded(g *topology.Graph, s *core.Schedule, frames int, em EnergyModel, shards int) (*SaturationResult, error) {
+	k, err := NewSaturationKernel(s, g.N())
+	if err != nil {
+		return nil, err
+	}
+	return k.RunSharded(g, frames, em, shards)
+}
+
 // RunSaturationLegacy is the original slot-by-slot, node-by-node saturation
 // loop. It is retained as the trusted differential reference for the fast
 // path (the same kernel-pinning discipline internal/core uses for its naive
@@ -141,7 +153,7 @@ func RunSaturationLegacy(g *topology.Graph, s *core.Schedule, frames int, em Ene
 				}
 				sender := -1
 				count := 0
-				g.NeighborSet(v).ForEach(func(u int) bool {
+				g.ForEachNeighbor(v, func(u int) bool {
 					if transmitting[u] {
 						count++
 						sender = u
@@ -167,7 +179,7 @@ func RunSaturationLegacy(g *topology.Graph, s *core.Schedule, frames int, em Ene
 	// Gather the flat counters into u-major link order and derive every
 	// reported field through the finalizer shared with the fast path.
 	for u := 0; u < n; u++ {
-		g.NeighborSet(u).ForEach(func(v int) bool {
+		g.ForEachNeighbor(u, func(v int) bool {
 			sc.links = append(sc.links, counts[u*n+v])
 			return true
 		})

@@ -1,0 +1,51 @@
+package sim
+
+import "runtime"
+
+// Node-range sharding for the struct-of-arrays kernels. A shard owns a
+// contiguous, word-aligned range of receiver rows [lo, hi): alignment to
+// 64-node boundaries means two shards never write the same word of a
+// packed per-receiver bitset, so workers need no locks, and the
+// deterministic ascending-shard reduction of their integer counters makes
+// results independent of the shard count (integer sums and maxima are
+// associative and commutative; see DESIGN.md §14).
+
+// resolveShards normalizes a shard-count request for n nodes: zero or one
+// means sequential, negative means one shard per available CPU, and the
+// count is clamped to the number of 64-node words so every shard owns at
+// least one word.
+func resolveShards(shards, n int) int {
+	if shards < 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if words := (n + wordBits - 1) / wordBits; shards > words {
+		shards = words
+	}
+	return shards
+}
+
+// shardRanges splits the n receiver rows into the given number of
+// contiguous word-aligned ranges of near-equal size. The last range ends
+// at n (only its tail may be a partial word).
+func shardRanges(n, shards int) [][2]int {
+	words := (n + wordBits - 1) / wordBits
+	base, rem := words/shards, words%shards
+	out := make([][2]int, 0, shards)
+	lo := 0
+	for s := 0; s < shards; s++ {
+		w := base
+		if s < rem {
+			w++
+		}
+		hi := lo + w*wordBits
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// withDenseLimit lowers the streaming threshold so the deterministic
+// generators take the CSR path at test-sized n, restoring it afterwards.
+func withDenseLimit(t *testing.T, limit int, fn func()) {
+	t.Helper()
+	old := DenseLimit
+	DenseLimit = limit
+	defer func() { DenseLimit = old }()
+	fn()
+}
+
+// assertGraphsEqual checks that two graphs expose identical edge sets and
+// derived queries through the whole public query surface.
+func assertGraphsEqual(t *testing.T, name string, dense, csr *Graph) {
+	t.Helper()
+	if dense.N() != csr.N() {
+		t.Fatalf("%s: N %d != %d", name, dense.N(), csr.N())
+	}
+	if dense.EdgeCount() != csr.EdgeCount() {
+		t.Fatalf("%s: EdgeCount %d != %d", name, dense.EdgeCount(), csr.EdgeCount())
+	}
+	if dense.MaxDegree() != csr.MaxDegree() {
+		t.Fatalf("%s: MaxDegree %d != %d", name, dense.MaxDegree(), csr.MaxDegree())
+	}
+	if !reflect.DeepEqual(dense.Edges(), csr.Edges()) {
+		t.Fatalf("%s: Edges differ", name)
+	}
+	if dense.IsConnected() != csr.IsConnected() {
+		t.Fatalf("%s: IsConnected %v != %v", name, dense.IsConnected(), csr.IsConnected())
+	}
+	n := dense.N()
+	for x := 0; x < n; x++ {
+		if dense.Degree(x) != csr.Degree(x) {
+			t.Fatalf("%s: Degree(%d) %d != %d", name, x, dense.Degree(x), csr.Degree(x))
+		}
+		dn, cn := dense.Neighbors(x), csr.Neighbors(x)
+		if !reflect.DeepEqual(dn, cn) {
+			t.Fatalf("%s: Neighbors(%d) %v != %v", name, x, dn, cn)
+		}
+		var iter []int
+		csr.ForEachNeighbor(x, func(v int) bool {
+			iter = append(iter, v)
+			return true
+		})
+		if len(dn) == 0 {
+			if len(iter) != 0 {
+				t.Fatalf("%s: ForEachNeighbor(%d) = %v, want empty", name, x, iter)
+			}
+		} else if !reflect.DeepEqual(dn, iter) {
+			t.Fatalf("%s: ForEachNeighbor(%d) %v != %v", name, x, dn, iter)
+		}
+		if !dense.NeighborSet(x).Equal(csr.NeighborSet(x)) {
+			t.Fatalf("%s: NeighborSet(%d) differs", name, x)
+		}
+		for v := 0; v < n; v++ {
+			if dense.HasEdge(x, v) != csr.HasEdge(x, v) {
+				t.Fatalf("%s: HasEdge(%d, %d) %v != %v", name, x, v, dense.HasEdge(x, v), csr.HasEdge(x, v))
+			}
+		}
+	}
+	dp, dd := dense.BFSTree(0)
+	cp, cd := csr.BFSTree(0)
+	if !reflect.DeepEqual(dp, cp) || !reflect.DeepEqual(dd, cd) {
+		t.Fatalf("%s: BFSTree differs", name)
+	}
+}
+
+func TestGeneratorsStreamCSRAboveLimit(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Graph
+	}{
+		{"ring", func() *Graph { return Ring(37) }},
+		{"line", func() *Graph { return Line(31) }},
+		{"star", func() *Graph { return Star(29) }},
+		{"grid", func() *Graph { return Grid(6, 7) }},
+		{"circulant", func() *Graph { return Circulant(24, []int{1, 3, 5}) }},
+		{"circulant-diameter", func() *Graph { return Circulant(20, []int{1, 10}) }},
+		{"regularish-even", func() *Graph { return Regularish(40, 6) }},
+		{"regularish-odd", func() *Graph { return Regularish(40, 5) }},
+	}
+	for _, tc := range cases {
+		dense := tc.build()
+		if dense.IsCompressed() {
+			t.Fatalf("%s: dense build compressed below limit", tc.name)
+		}
+		var csr *Graph
+		withDenseLimit(t, 2, func() { csr = tc.build() })
+		if !csr.IsCompressed() {
+			t.Fatalf("%s: build above limit not compressed", tc.name)
+		}
+		assertGraphsEqual(t, tc.name, dense, csr)
+	}
+}
+
+func TestCompressMatchesDense(t *testing.T) {
+	rng := stats.NewRNG(11)
+	graphs := map[string]*Graph{
+		"random":    RandomBoundedDegree(33, 5, 20, rng),
+		"geometric": RandomGeometric(40, 0.3, rng).Graph,
+		"grid":      Grid(5, 8),
+	}
+	for name, dense := range graphs {
+		csr := dense.Compress()
+		if !csr.IsCompressed() {
+			t.Fatalf("%s: Compress returned dense graph", name)
+		}
+		assertGraphsEqual(t, name, dense, csr)
+		if again := csr.Compress(); again != csr {
+			t.Errorf("%s: Compress of compressed graph did not return receiver", name)
+		}
+		clone := csr.Clone()
+		if !clone.IsCompressed() {
+			t.Errorf("%s: Clone of compressed graph is dense", name)
+		}
+		assertGraphsEqual(t, name+"/clone", dense, clone)
+	}
+}
+
+func TestForEachNeighborIn(t *testing.T) {
+	rng := stats.NewRNG(5)
+	dense := RandomBoundedDegree(70, 6, 60, rng)
+	csr := dense.Compress()
+	for _, g := range []*Graph{dense, csr} {
+		for _, rg := range [][2]int{{0, 70}, {10, 50}, {63, 65}, {64, 70}, {0, 1}, {40, 40}, {-5, 200}} {
+			lo, hi := rg[0], rg[1]
+			for x := 0; x < g.N(); x++ {
+				var want []int
+				for _, v := range dense.Neighbors(x) {
+					if v >= lo && v < hi {
+						want = append(want, v)
+					}
+				}
+				var got []int
+				g.ForEachNeighborIn(x, lo, hi, func(v int) bool {
+					got = append(got, v)
+					return true
+				})
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("compressed=%v ForEachNeighborIn(%d, %d, %d) = %v, want %v",
+						g.IsCompressed(), x, lo, hi, got, want)
+				}
+			}
+		}
+		// Early stop after the first neighbour.
+		var first []int
+		g.ForEachNeighborIn(0, 0, g.N(), func(v int) bool {
+			first = append(first, v)
+			return false
+		})
+		if len(first) != 1 {
+			t.Fatalf("early stop visited %v", first)
+		}
+	}
+}
+
+func TestCompressedGraphMutationPanics(t *testing.T) {
+	csr := Grid(4, 4).Compress()
+	for name, fn := range map[string]func(){
+		"AddEdge":          func() { csr.AddEdge(0, 5) },
+		"RemoveEdge":       func() { csr.RemoveEdge(0, 1) },
+		"EnforceMaxDegree": func() { csr.EnforceMaxDegree(1, stats.NewRNG(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on compressed graph did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCSRMemoryShape(t *testing.T) {
+	// The CSR form must be O(n+m): spot-check the backing array lengths.
+	withDenseLimit(t, 2, func() {
+		g := Ring(1000)
+		if len(g.nbr) != 2000 {
+			t.Fatalf("Ring(1000) CSR has %d neighbour entries, want 2000", len(g.nbr))
+		}
+		if len(g.off) != 1001 {
+			t.Fatalf("Ring(1000) CSR has %d offsets, want 1001", len(g.off))
+		}
+	})
+}

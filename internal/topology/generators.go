@@ -7,10 +7,21 @@ import (
 	"repro/internal/stats"
 )
 
+// The deterministic generators below (Ring, Line, Star, Grid, Circulant,
+// Regularish) each have a closed-form neighbour row, so above DenseLimit
+// nodes they stream straight into the immutable CSR representation instead
+// of materializing n adjacency bitsets. Below the limit they build the
+// mutable dense form exactly as before.
+
 // Ring returns the cycle graph on n >= 3 nodes (degree 2 everywhere).
 func Ring(n int) *Graph {
 	if n < 3 {
 		panic(fmt.Sprintf("topology: Ring(%d)", n))
+	}
+	if n >= DenseLimit {
+		return newCSR(n, func(i int, buf []int32) []int32 {
+			return append(buf, int32((i+n-1)%n), int32((i+1)%n))
+		})
 	}
 	g := NewGraph(n)
 	for i := 0; i < n; i++ {
@@ -24,6 +35,17 @@ func Line(n int) *Graph {
 	if n < 2 {
 		panic(fmt.Sprintf("topology: Line(%d)", n))
 	}
+	if n >= DenseLimit {
+		return newCSR(n, func(i int, buf []int32) []int32 {
+			if i > 0 {
+				buf = append(buf, int32(i-1))
+			}
+			if i+1 < n {
+				buf = append(buf, int32(i+1))
+			}
+			return buf
+		})
+	}
 	g := NewGraph(n)
 	for i := 0; i+1 < n; i++ {
 		g.AddEdge(i, i+1)
@@ -35,6 +57,17 @@ func Line(n int) *Graph {
 func Star(n int) *Graph {
 	if n < 2 {
 		panic(fmt.Sprintf("topology: Star(%d)", n))
+	}
+	if n >= DenseLimit {
+		return newCSR(n, func(i int, buf []int32) []int32 {
+			if i == 0 {
+				for v := 1; v < n; v++ {
+					buf = append(buf, int32(v))
+				}
+				return buf
+			}
+			return append(buf, 0)
+		})
 	}
 	g := NewGraph(n)
 	for i := 1; i < n; i++ {
@@ -48,6 +81,24 @@ func Star(n int) *Graph {
 func Grid(rows, cols int) *Graph {
 	if rows < 1 || cols < 1 || rows*cols < 2 {
 		panic(fmt.Sprintf("topology: Grid(%d, %d)", rows, cols))
+	}
+	if rows*cols >= DenseLimit {
+		return newCSR(rows*cols, func(id int, buf []int32) []int32 {
+			r, c := id/cols, id%cols
+			if r > 0 {
+				buf = append(buf, int32(id-cols))
+			}
+			if c > 0 {
+				buf = append(buf, int32(id-1))
+			}
+			if c+1 < cols {
+				buf = append(buf, int32(id+1))
+			}
+			if r+1 < rows {
+				buf = append(buf, int32(id+cols))
+			}
+			return buf
+		})
 	}
 	g := NewGraph(rows * cols)
 	for r := 0; r < rows; r++ {
@@ -69,16 +120,35 @@ func Grid(rows, cols int) *Graph {
 // 1..k it is exactly 2k-regular (for n > 2k) — the deterministic worst-case
 // topology in which every node has the maximum degree.
 func Circulant(n int, offsets []int) *Graph {
-	g := NewGraph(n)
 	for _, o := range offsets {
 		if o < 1 || 2*o > n {
 			panic(fmt.Sprintf("topology: Circulant offset %d invalid for n = %d", o, n))
 		}
+	}
+	if n >= DenseLimit {
+		// A diameter offset (2o == n) yields i+o ≡ i-o; newCSR dedups it,
+		// matching the dense path where AddEdge is idempotent.
+		return newCSR(n, circulantRow(n, offsets))
+	}
+	g := NewGraph(n)
+	for _, o := range offsets {
 		for i := 0; i < n; i++ {
 			g.AddEdge(i, (i+o)%n)
 		}
 	}
 	return g
+}
+
+// circulantRow returns the CSR row function for a circulant graph,
+// optionally with the diameter matching i↔i+n/2 that Regularish adds for
+// odd target degrees.
+func circulantRow(n int, offsets []int) func(int, []int32) []int32 {
+	return func(i int, buf []int32) []int32 {
+		for _, o := range offsets {
+			buf = append(buf, int32((i+o)%n), int32((i+n-o)%n))
+		}
+		return buf
+	}
 }
 
 // Regularish returns a deterministic near-d-regular graph on n nodes:
@@ -97,10 +167,27 @@ func Regularish(n, d int) *Graph {
 	for o := 1; o <= d/2; o++ {
 		offsets = append(offsets, o)
 	}
-	g := Circulant(n, offsets)
-	if d%2 == 1 {
-		for i := 0; i < n/2; i++ {
-			g.AddEdge(i, i+n/2)
+	var g *Graph
+	if n >= DenseLimit {
+		base := circulantRow(n, offsets)
+		g = newCSR(n, func(i int, buf []int32) []int32 {
+			buf = base(i, buf)
+			if d%2 == 1 {
+				// Diameter matching partner for odd degrees.
+				if i < n/2 {
+					buf = append(buf, int32(i+n/2))
+				} else {
+					buf = append(buf, int32(i-n/2))
+				}
+			}
+			return buf
+		})
+	} else {
+		g = Circulant(n, offsets)
+		if d%2 == 1 {
+			for i := 0; i < n/2; i++ {
+				g.AddEdge(i, i+n/2)
+			}
 		}
 	}
 	for i := 0; i < n; i++ {

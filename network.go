@@ -76,6 +76,13 @@ func RunSaturationLegacy(g *Graph, s *Schedule, frames int, em EnergyModel) (*Sa
 	return sim.RunSaturationLegacy(g, s, frames, em)
 }
 
+// RunSaturationSharded is RunSaturation with the frame resolution split
+// across word-aligned node ranges (0 or 1 shard = sequential, negative =
+// one per CPU). Results are byte-identical at every shard count.
+func RunSaturationSharded(g *Graph, s *Schedule, frames int, em EnergyModel, shards int) (*SaturationResult, error) {
+	return sim.RunSaturationSharded(g, s, frames, em, shards)
+}
+
 // SaturationKernel is the reusable topology-independent precomputation of
 // the saturation fast path; build one per (schedule, n) and share it across
 // the topologies of a campaign.
@@ -85,6 +92,17 @@ type SaturationKernel = sim.SaturationKernel
 // over graphs on exactly n nodes.
 func NewSaturationKernel(s *Schedule, n int) (*SaturationKernel, error) {
 	return sim.NewSaturationKernel(s, n)
+}
+
+// ConvergecastKernel is the reusable precomputation of the convergecast
+// fast path for one (graph, schedule, sink) triple; build one per grid
+// point and share it across a campaign's replications.
+type ConvergecastKernel = sim.ConvergecastKernel
+
+// NewConvergecastKernel validates the triple and precomputes the
+// convergecast fast path.
+func NewConvergecastKernel(g *Graph, s *Schedule, sink int) (*ConvergecastKernel, error) {
+	return sim.NewConvergecastKernel(g, s, sink)
 }
 
 // GuaranteedPerLink computes the analytical per-frame guaranteed delivery
