@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build lint lint-sarif lint-bench test race race-conc race-sim race-sim-par fuzz bench bench-serve bench-scale benchall serve
+.PHONY: check vet build lint lint-alloc lint-sarif lint-bench test race race-conc race-sim race-sim-par fuzz bench bench-serve bench-scale benchall serve
 
-check: vet build lint test race race-conc race-sim race-sim-par
+check: vet build lint lint-alloc test race race-conc race-sim race-sim-par
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,15 @@ lint:
 	$(GO) run ./cmd/ttdclint -baseline lint-baseline.json ./...
 	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+
+# The hot-path allocation contracts alone (//ttdc:hotpath — see DESIGN.md
+# §15): a fast loop when annotating warm-path functions. `make lint`
+# already runs these three analyzers with the rest of the suite; this
+# names the gate in `make check` output. The runtime half of the same
+# contract is the generated alloc_gate_test.go files, which `make test`
+# runs and ttdclint's tests drift-check.
+lint-alloc:
+	$(GO) run ./cmd/ttdclint -enable allocflow,boxing,growloop ./...
 
 # SARIF 2.1.0 report for code-scanning UIs (upload lint.sarif).
 lint-sarif:
@@ -69,6 +78,7 @@ fuzz:
 	$(GO) test -fuzz FuzzSimEquivalence -fuzztime 10s ./internal/sim
 	$(GO) test -fuzz FuzzDecodeWire -fuzztime 10s ./internal/wire
 	$(GO) test -run '^$$' -fuzz FuzzIgnoreDirective -fuzztime 10s ./internal/lint
+	$(GO) test -run '^$$' -fuzz FuzzHotpathDirective -fuzztime 10s ./internal/lint
 
 # Benchmarks with -benchmem, captured as the machine-readable perf
 # trajectory: BENCH_engine.json (serial-vs-parallel Workers1/WorkersMax

@@ -13,6 +13,11 @@
 //   - <Prefix>Shards1 / <Prefix>ShardsMax — the sequential kernel vs the
 //     sharded slot kernel at one shard per CPU.
 //
+// The Workers and Shards pairs are parallelism measurements: when both
+// sides of one ran under GOMAXPROCS=1 (no -N name suffix), the derived
+// entry is marked "single_core": true so the ratio is read as sharding
+// overhead rather than parallel speedup.
+//
 // Custom b.ReportMetric units (peakRSS-MB, gomaxprocs, numcpu from the
 // TTDC_SCALE benchmarks) land in each benchmark's "extra" map. -merge folds
 // a run into an existing file instead of replacing it, so the scale entries
@@ -49,6 +54,10 @@ type Benchmark struct {
 	// "gomaxprocs", and "numcpu" so a number taken on an affinity-pinned
 	// host explains itself.
 	Extra map[string]float64 `json:"extra,omitempty"`
+	// Procs is the GOMAXPROCS the line ran under, recovered from the -N
+	// name suffix (absent suffix means 1). Zero only in documents written
+	// before this field existed, where it is unknown.
+	Procs int `json:"procs,omitempty"`
 }
 
 // Speedup is one derived before/after wall-clock ratio: Workers1 vs
@@ -60,6 +69,12 @@ type Speedup struct {
 	SerialNs float64 `json:"serialNs"`
 	MaxNs    float64 `json:"maxNs"`
 	Speedup  float64 `json:"speedup"`
+	// SingleCore marks a parallelism pair (Workers or Shards) whose two
+	// sides both ran under GOMAXPROCS=1: the ratio then measures sharding
+	// overhead, not parallel speedup, and a dashboard should not read it
+	// as a scaling number. Algorithmic pairs (Naive/Prefix, Legacy/Fast)
+	// are never marked — their ratios are meaningful on one core.
+	SingleCore bool `json:"single_core,omitempty"`
 }
 
 // File is the BENCH_engine.json document.
@@ -194,10 +209,10 @@ func parseBenchLine(line string) (Benchmark, bool) {
 	if len(fields) < 4 || fields[3] != "ns/op" {
 		return Benchmark{}, false
 	}
-	name := fields[0]
+	name, procs := fields[0], 1
 	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, procs = name[:i], p
 		}
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
@@ -208,7 +223,7 @@ func parseBenchLine(line string) (Benchmark, bool) {
 	if err != nil {
 		return Benchmark{}, false
 	}
-	b := Benchmark{Name: name, Iterations: iters, NsPerOp: ns}
+	b := Benchmark{Name: name, Iterations: iters, NsPerOp: ns, Procs: procs}
 	for i := 4; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
@@ -230,11 +245,16 @@ func parseBenchLine(line string) (Benchmark, bool) {
 }
 
 // speedupPairs lists the recognized baseline/comparison suffix pairs.
-var speedupPairs = []struct{ base, comp string }{
-	{"Workers1", "WorkersMax"}, // engine serial vs worker pool
-	{"Naive", "Prefix"},        // core naive scan vs prefix-cached kernel
-	{"Legacy", "Fast"},         // sim reference loop vs struct-of-arrays path
-	{"Shards1", "ShardsMax"},   // sim sequential kernel vs sharded slot kernel
+// parallel marks the pairs whose comparison side needs more than one core
+// to mean anything; only those get the single_core flag.
+var speedupPairs = []struct {
+	base, comp string
+	parallel   bool
+}{
+	{"Workers1", "WorkersMax", true}, // engine serial vs worker pool
+	{"Naive", "Prefix", false},       // core naive scan vs prefix-cached kernel
+	{"Legacy", "Fast", false},        // sim reference loop vs struct-of-arrays path
+	{"Shards1", "ShardsMax", true},   // sim sequential kernel vs sharded slot kernel
 }
 
 // deriveSpeedups pairs benchmarks whose names differ only by a recognized
@@ -255,6 +275,9 @@ func deriveSpeedups(benches []Benchmark) []Speedup {
 						SerialNs: b.NsPerOp,
 						MaxNs:    m.NsPerOp,
 						Speedup:  b.NsPerOp / m.NsPerOp,
+						// Procs == 0 means a pre-procs document, where the
+						// host core count is unknown; leave it unmarked.
+						SingleCore: p.parallel && b.Procs == 1 && m.Procs == 1,
 					})
 				}
 			}

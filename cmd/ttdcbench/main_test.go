@@ -31,7 +31,9 @@ goarch: amd64
 pkg: repro/internal/sim
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkSaturationCampaignLegacy 	       5	 240000000 ns/op
-BenchmarkSaturationCampaignFast-8 	     500	   2400000 ns/op
+BenchmarkSaturationCampaignFast 	     500	   2400000 ns/op
+BenchmarkShardedSlotsShards1    	      10	    100000 ns/op
+BenchmarkShardedSlotsShardsMax  	      10	     95000 ns/op
 PASS
 ok  	repro/internal/sim	3.1s
 `
@@ -51,24 +53,32 @@ func TestParseAndDerive(t *testing.T) {
 	if doc.GOMAXPROCS <= 0 || doc.NumCPU <= 0 {
 		t.Errorf("CPU header: gomaxprocs=%d numCPU=%d", doc.GOMAXPROCS, doc.NumCPU)
 	}
-	if len(doc.Benchmarks) != 9 {
-		t.Fatalf("parsed %d benchmarks, want 9", len(doc.Benchmarks))
+	if len(doc.Benchmarks) != 11 {
+		t.Fatalf("parsed %d benchmarks, want 11", len(doc.Benchmarks))
 	}
-	// The -8 suffix is stripped; memory columns survive.
+	// The -8 suffix is stripped into Procs; memory columns survive.
 	if doc.Benchmarks[1].Name != "BenchmarkCampaignWorkersMax" || doc.Benchmarks[1].BytesPerOp != 571296 {
 		t.Errorf("benchmarks[1] = %+v", doc.Benchmarks[1])
+	}
+	if doc.Benchmarks[0].Procs != 1 || doc.Benchmarks[1].Procs != 8 {
+		t.Errorf("procs = %d, %d; want 1, 8", doc.Benchmarks[0].Procs, doc.Benchmarks[1].Procs)
 	}
 	// Fractional ns/op parses.
 	if doc.Benchmarks[4].NsPerOp != 34.1 || doc.Benchmarks[4].Iterations != 50000000 {
 		t.Errorf("benchmarks[4] = %+v", doc.Benchmarks[4])
 	}
-	if len(doc.Speedups) != 4 {
+	if len(doc.Speedups) != 5 {
 		t.Fatalf("speedups = %+v", doc.Speedups)
 	}
-	if doc.Speedups[0].Name != "Campaign" || doc.Speedups[0].Speedup < 1.99 || doc.Speedups[0].Speedup > 2.01 {
+	// Campaign's comparison side ran under -8, so the pair is a real
+	// parallel measurement and must not be flagged single-core.
+	if doc.Speedups[0].Name != "Campaign" || doc.Speedups[0].Speedup < 1.99 || doc.Speedups[0].Speedup > 2.01 ||
+		doc.Speedups[0].SingleCore {
 		t.Errorf("speedups[0] = %+v", doc.Speedups[0])
 	}
-	if doc.Speedups[1].Name != "Sweep" {
+	// Both Sweep sides ran without a -N suffix (GOMAXPROCS=1): the
+	// Workers pair is flagged so nobody reads it as parallel scaling.
+	if doc.Speedups[1].Name != "Sweep" || !doc.Speedups[1].SingleCore {
 		t.Errorf("speedups[1] = %+v", doc.Speedups[1])
 	}
 	// The kernel Naive/Prefix pair derives an old-vs-new speedup too.
@@ -76,10 +86,16 @@ func TestParseAndDerive(t *testing.T) {
 		doc.Speedups[2].Speedup < 6.41 || doc.Speedups[2].Speedup > 6.43 {
 		t.Errorf("speedups[2] = %+v", doc.Speedups[2])
 	}
-	// The simulator Legacy/Fast pair.
+	// The simulator Legacy/Fast pair is algorithmic: both sides ran on one
+	// core here, and it still must not be flagged — the ratio is valid.
 	if doc.Speedups[3].Name != "SaturationCampaign" ||
-		doc.Speedups[3].Speedup < 99 || doc.Speedups[3].Speedup > 101 {
+		doc.Speedups[3].Speedup < 99 || doc.Speedups[3].Speedup > 101 ||
+		doc.Speedups[3].SingleCore {
 		t.Errorf("speedups[3] = %+v", doc.Speedups[3])
+	}
+	// Shards1/ShardsMax on one core is the other flagged parallel pair.
+	if doc.Speedups[4].Name != "ShardedSlots" || !doc.Speedups[4].SingleCore {
+		t.Errorf("speedups[4] = %+v", doc.Speedups[4])
 	}
 }
 

@@ -8,7 +8,7 @@
 //
 //	ttdclint [-json] [-sarif file] [-baseline file] [-write-baseline]
 //	         [-enable list] [-disable list] [-workers n] [-tests=false]
-//	         [packages...]
+//	         [-hotpaths] [-write-alloc-gates] [packages...]
 //
 // Each argument is a directory or a `dir/...` tree pattern; the default is
 // `./...`. Tree patterns type-check packages concurrently over a shared
@@ -19,6 +19,12 @@
 // while a baseline entry that no longer matches any finding is *stale* and
 // fails the run — fixed debt must leave the ledger. -write-baseline
 // regenerates the file from the current findings.
+//
+// -hotpaths skips linting and emits the //ttdc:hotpath inventory — every
+// annotated function with its symbol, location, exportedness, and written
+// reason — as JSON. -write-alloc-gates regenerates the per-package
+// alloc_gate_test.go files from that inventory (see gates.go); the checked-
+// in copies are drift-checked by this command's own tests.
 //
 // The exit status is 0 when the tree is clean (after baseline and
 // //lint:ignore suppression), 1 when there are findings or stale baseline
@@ -90,6 +96,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
 	workers := fs.Int("workers", 0, "concurrent type-checking workers for tree patterns (0 = GOMAXPROCS)")
+	hotpaths := fs.Bool("hotpaths", false, "emit the //ttdc:hotpath inventory as JSON and exit")
+	writeGates := fs.Bool("write-alloc-gates", false, "regenerate the per-package alloc_gate_test.go files from the //ttdc:hotpath inventory and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -130,6 +138,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		pkgs = append(pkgs, units...)
+	}
+
+	if *hotpaths || *writeGates {
+		entries := lint.BuildProgram(pkgs).Hotpaths()
+		if *hotpaths {
+			for i := range entries {
+				entries[i].File = relPath(loader.Root, entries[i].File)
+			}
+			if entries == nil {
+				entries = []lint.HotpathEntry{}
+			}
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(struct {
+				Hotpaths []lint.HotpathEntry `json:"hotpaths"`
+			}{entries}); err != nil {
+				fmt.Fprintln(stderr, "ttdclint:", err)
+				return 2
+			}
+			return 0
+		}
+		files, err := allocGateFiles(entries, pkgs)
+		if err != nil {
+			fmt.Fprintln(stderr, "ttdclint:", err)
+			return 2
+		}
+		var paths []string
+		for p := range files {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			if err := os.WriteFile(p, files[p], 0o644); err != nil {
+				fmt.Fprintln(stderr, "ttdclint:", err)
+				return 2
+			}
+			fmt.Fprintf(stderr, "ttdclint: wrote %s\n", relPath(loader.Root, p))
+		}
+		return 0
 	}
 
 	res := lint.LintAll(pkgs, analyzers)
@@ -378,16 +425,20 @@ type sarifRegion struct {
 }
 
 // writeSARIF emits the post-baseline findings as a SARIF 2.1.0 log, with
-// one rule per selected analyzer plus the "ignore" pseudo-analyzer that
-// reports malformed suppression directives.
+// one rule per selected analyzer plus the "ignore" and "hotpath"
+// pseudo-analyzers that report malformed directives.
 func writeSARIF(w io.Writer, analyzers []*lint.Analyzer, entries []baselineEntry) error {
-	rules := make([]sarifRule, 0, len(analyzers)+1)
+	rules := make([]sarifRule, 0, len(analyzers)+2)
 	for _, a := range analyzers {
 		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
 	}
 	rules = append(rules, sarifRule{
 		ID:               "ignore",
 		ShortDescription: sarifText{Text: "//lint:ignore directives must name an analyzer and carry a written reason"},
+	})
+	rules = append(rules, sarifRule{
+		ID:               "hotpath",
+		ShortDescription: sarifText{Text: "//ttdc:hotpath directives must carry a written reason and sit in a function declaration's doc comment"},
 	})
 	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
 

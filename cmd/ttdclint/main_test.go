@@ -35,6 +35,9 @@ var badAnalyzers = map[string]string{
 	"floatflow":  "does not trace to an approved finalizer",
 	"poolescape": "outlives the call",
 	"detflow":    "deterministic outputs must be path-clean",
+	"allocflow":  "make allocates",
+	"boxing":     "boxes",
+	"growloop":   "not provably pre-sized",
 }
 
 func TestRunFindings(t *testing.T) {
@@ -175,9 +178,9 @@ func TestRunSARIF(t *testing.T) {
 	if run0.Tool.Driver.Name != "ttdclint" {
 		t.Fatalf("driver name = %q", run0.Tool.Driver.Name)
 	}
-	// Fourteen analyzers plus the "ignore" pseudo-rule.
-	if len(run0.Tool.Driver.Rules) != 15 {
-		t.Fatalf("rules = %d, want 15", len(run0.Tool.Driver.Rules))
+	// Seventeen analyzers plus the "ignore" and "hotpath" pseudo-rules.
+	if len(run0.Tool.Driver.Rules) != 19 {
+		t.Fatalf("rules = %d, want 19", len(run0.Tool.Driver.Rules))
 	}
 	if len(run0.Results) != len(badAnalyzers) {
 		t.Fatalf("results = %d, want %d", len(run0.Results), len(badAnalyzers))
@@ -205,7 +208,7 @@ func TestRunEnableDisable(t *testing.T) {
 		t.Fatalf("exit = %d, want 1; stderr=%q", code, errb.String())
 	}
 	got := out.String()
-	if strings.Contains(got, "ratcompare") || len(strings.Split(strings.TrimSpace(got), "\n")) != 9 {
+	if strings.Contains(got, "ratcompare") || len(strings.Split(strings.TrimSpace(got), "\n")) != 12 {
 		t.Fatalf("-disable output:\n%s", got)
 	}
 
@@ -260,6 +263,53 @@ func TestRunPathsStableAcrossWorkingDirectories(t *testing.T) {
 		t.Fatalf("report depends on working directory:\n--- from cmd/ttdclint ---\n%s--- from module root ---\n%s",
 			fromHere.String(), fromRoot.String())
 	}
+}
+
+// TestRunHotpathsInventory pins the -hotpaths JSON mode over the dirty
+// fixture tree: the three annotated contract-breakers are inventoried with
+// module-relative files, exportedness, and their written reasons, and the
+// mode reports instead of linting (exit 0 despite the findings).
+func TestRunHotpathsInventory(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-hotpaths", "testdata/bad"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr=%q", code, errb.String())
+	}
+	var report struct {
+		Hotpaths []lintHotpathEntry `json:"hotpaths"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("-hotpaths output does not parse: %v\n%s", err, out.String())
+	}
+	if len(report.Hotpaths) != 3 {
+		t.Fatalf("inventory = %d entries, want 3:\n%s", len(report.Hotpaths), out.String())
+	}
+	want := map[string]string{
+		"HotBox":  "claimed box-free but stores an int in an interface",
+		"HotGrow": "claimed pre-sized but grows per iteration",
+		"HotMake": "claimed allocation-free but calls make",
+	}
+	for i, e := range report.Hotpaths {
+		if e.Name == "" || want[e.Name] != e.Reason {
+			t.Errorf("entry %d = %+v, want reason %q", i, e, want[e.Name])
+		}
+		if e.File != "cmd/ttdclint/testdata/bad/hotpath.go" || e.Line <= 0 || !e.Exported {
+			t.Errorf("entry %d location/exportedness wrong: %+v", i, e)
+		}
+		if i > 0 && report.Hotpaths[i-1].Sym >= e.Sym {
+			t.Errorf("inventory not sorted by symbol: %q then %q", report.Hotpaths[i-1].Sym, e.Sym)
+		}
+	}
+}
+
+// lintHotpathEntry mirrors lint.HotpathEntry's wire form for decoding.
+type lintHotpathEntry struct {
+	Sym      string `json:"sym"`
+	Pkg      string `json:"pkg"`
+	Name     string `json:"name"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Exported bool   `json:"exported"`
+	Reason   string `json:"reason"`
 }
 
 // TestRunSelfTree lints this command's own directory via the default

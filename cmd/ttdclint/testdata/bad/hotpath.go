@@ -1,0 +1,33 @@
+// Hot-path half of the dirty fixture tree: exactly one finding per
+// warm-path analyzer — allocflow, boxing, and growloop — each a
+// //ttdc:hotpath contract broken in a different, disjoint way.
+package bad
+
+// boxSink receives HotBox's boxed value.
+var boxSink interface{}
+
+// queue backs HotGrow's unbounded append.
+var queue []int
+
+// HotMake allocates directly on a declared warm path.
+//
+//ttdc:hotpath claimed allocation-free but calls make
+func HotMake(n int) []int {
+	return make([]int, n)
+}
+
+// HotBox boxes a concrete int into an interface on a declared warm path.
+//
+//ttdc:hotpath claimed box-free but stores an int in an interface
+func HotBox(v int) {
+	boxSink = v
+}
+
+// HotGrow appends inside a loop with no pre-size proof.
+//
+//ttdc:hotpath claimed pre-sized but grows per iteration
+func HotGrow(xs []int) {
+	for _, x := range xs {
+		queue = append(queue, x)
+	}
+}

@@ -1,0 +1,41 @@
+// Hot-path half of the clean fixture tree: the sanctioned warm-path
+// shapes — scratch reset by self-reslice, growth done at most once behind
+// a cap guard, and allocation confined to the cold error return.
+package good
+
+import "fmt"
+
+// buffer owns a reusable scratch slice.
+type buffer struct{ rows []int }
+
+// Refill resets its scratch by self-reslice and appends into the
+// retained capacity.
+//
+//ttdc:hotpath reservoir refill reuses retained scratch capacity
+func Refill(dst *buffer, xs []int) {
+	dst.rows = dst.rows[:0]
+	for _, x := range xs {
+		dst.rows = append(dst.rows, x)
+	}
+}
+
+// Reserve grows the scratch at most once, behind a cap guard.
+//
+//ttdc:hotpath grow-once scratch guarded by cap
+func Reserve(dst *buffer, n int) {
+	if cap(dst.rows) < n {
+		dst.rows = make([]int, n)
+	}
+	dst.rows = dst.rows[:n]
+}
+
+// Head returns the first row; the only allocation sits on the cold
+// error return.
+//
+//ttdc:hotpath constant-time accessor with a cold error path
+func Head(dst *buffer) (int, error) {
+	if len(dst.rows) == 0 {
+		return 0, fmt.Errorf("empty buffer")
+	}
+	return dst.rows[0], nil
+}

@@ -71,6 +71,8 @@ func (s *Set) Remove(i int) {
 
 // Contains reports whether i is in the set. Out-of-range values are simply
 // not contained (no panic), which lets callers probe safely.
+//
+//ttdc:hotpath membership probe on the simulator slot loops; one shift and one AND
 func (s *Set) Contains(i int) bool {
 	if i < 0 || i >= s.cap {
 		return false
@@ -148,6 +150,8 @@ func minInt(a, b int) int {
 
 // UnionWith adds every element of o to s (s |= o). Elements of o beyond
 // s's capacity cause a panic.
+//
+//ttdc:hotpath in-place set union on the verification walks; word loop over existing backing arrays
 func (s *Set) UnionWith(o *Set) {
 	if o.cap > s.cap {
 		// Permit only if the extra words are zero.
@@ -163,6 +167,8 @@ func (s *Set) UnionWith(o *Set) {
 }
 
 // IntersectWith keeps only the elements of s that are also in o (s &= o).
+//
+//ttdc:hotpath in-place set intersection on the verification walks
 func (s *Set) IntersectWith(o *Set) {
 	n := minInt(len(s.words), len(o.words))
 	for i := 0; i < n; i++ {
@@ -174,6 +180,8 @@ func (s *Set) IntersectWith(o *Set) {
 }
 
 // DifferenceWith removes every element of o from s (s &^= o).
+//
+//ttdc:hotpath in-place set difference; the naive kernels pay it D times per subset
 func (s *Set) DifferenceWith(o *Set) {
 	for i := 0; i < minInt(len(s.words), len(o.words)); i++ {
 		s.words[i] &^= o.words[i]
@@ -186,6 +194,8 @@ func (s *Set) DifferenceWith(o *Set) {
 // tree costs exactly one call, and the emptiness flag (needed for pruning)
 // falls out of the same word loop for free. s and a must have the same
 // capacity; b is treated as zero-padded beyond its own.
+//
+//ttdc:hotpath one fused word pass per prefix extension of every verification walk
 func (s *Set) CopyThenDifference(a, b *Set) bool {
 	if s.cap != a.cap {
 		panic(fmt.Sprintf("bitset: CopyThenDifference capacity mismatch %d != %d", s.cap, a.cap))
@@ -235,6 +245,8 @@ func Difference(s, o *Set) *Set {
 
 // Intersects reports whether s and o share at least one element, without
 // allocating.
+//
+//ttdc:hotpath condition-(2) probe of the requirement checks; short-circuiting word scan
 func (s *Set) Intersects(o *Set) bool {
 	for i := 0; i < minInt(len(s.words), len(o.words)); i++ {
 		if s.words[i]&o.words[i] != 0 {
@@ -261,6 +273,8 @@ func (s *Set) SubsetOf(o *Set) bool {
 }
 
 // IntersectionCount returns |s ∩ o| without allocating.
+//
+//ttdc:hotpath popcount reduction on the throughput scans
 func (s *Set) IntersectionCount(o *Set) int {
 	n := 0
 	for i := 0; i < minInt(len(s.words), len(o.words)); i++ {
@@ -292,6 +306,8 @@ func (s *Set) DifferenceEmpty(o *Set) bool { return s.SubsetOf(o) }
 // throughput scan — |freeSlots ∩ recv(y)| — evaluated at the last level of
 // the enumeration tree in one pass. o and mask are treated as zero-padded
 // beyond their own capacities.
+//
+//ttdc:hotpath the D == 1 throughput cardinality, one fused popcount pass per pair
 func (s *Set) DifferenceIntersectionCount(o, mask *Set) int {
 	n := 0
 	m := minInt(len(s.words), len(mask.words))

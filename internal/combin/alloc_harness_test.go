@@ -1,0 +1,27 @@
+//go:build !race
+
+// The race detector instruments memory operations in ways that can
+// allocate, so the allocation gates only run in the plain test pass.
+
+package combin
+
+import "testing"
+
+// gateSinkWalked keeps the measured walk from being optimized away.
+var gateSinkWalked bool
+
+// allocGateHarness binds one warm call per symbol listed in the generated
+// alloc_gate_test.go. The visit closure is bound once out here — handing a
+// fresh literal to the walker inside the measured closure would itself
+// allocate and mask the scratch-reuse guarantee under test.
+func allocGateHarness(t *testing.T, sym string) func() {
+	t.Helper()
+	e := NewEnumerator()
+	visit := func(prefix []int) WalkControl { return WalkDescend }
+	switch sym {
+	case "(*repro/internal/combin.Enumerator).WalkKSubsets":
+		return func() { gateSinkWalked = e.WalkKSubsets(9, 3, visit) }
+	}
+	t.Fatalf("no alloc-gate harness for %s; add one in alloc_harness_test.go", sym)
+	return nil
+}

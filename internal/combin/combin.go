@@ -63,6 +63,8 @@ func NewEnumerator() *Enumerator { return new(Enumerator) }
 
 // scratch returns a length-k int slice backed by *store, growing the
 // backing array only when k exceeds every previous request.
+//
+//ttdc:hotpath amortized grow-once scratch behind a cap guard; steady state reslices only
 func scratch(store *[]int, k int) []int {
 	if cap(*store) < k {
 		*store = make([]int, k)
@@ -146,6 +148,8 @@ const (
 // return value reports whether the walk ran to completion (false iff some
 // visit returned WalkStop). k == 0 has a single empty subset and no
 // prefixes, so visit is never called; k > n walks nothing.
+//
+//ttdc:hotpath drives every prefix-cached verification walk; reuses the enumerator scratch across calls
 func (e *Enumerator) WalkKSubsets(n, k int, visit func(prefix []int) WalkControl) bool {
 	if k < 0 || n < 0 {
 		panic(fmt.Sprintf("combin: WalkKSubsets(%d, %d)", n, k))
@@ -161,6 +165,8 @@ func (e *Enumerator) WalkKSubsets(n, k int, visit func(prefix []int) WalkControl
 // — the positions that leave room for the remaining k-depth-1 elements —
 // recursing one level per chosen element. It returns false when a visit
 // requested WalkStop.
+//
+//ttdc:hotpath the recursive enumeration spine; per-node cost is one visit call and scalar index math
 func walk(prefix []int, n, depth, start int, visit func(prefix []int) WalkControl) bool {
 	k := len(prefix)
 	for pos := start; pos < n-(k-depth-1); pos++ {

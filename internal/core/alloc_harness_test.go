@@ -1,0 +1,24 @@
+//go:build !race
+
+// The race detector instruments memory operations in ways that can
+// allocate, so the allocation gates only run in the plain test pass.
+
+package core
+
+import "testing"
+
+// allocGateHarness binds one warm call per symbol listed in the generated
+// alloc_gate_test.go. The Verifier is built outside the closure, and its
+// first call inside TestHotpathAllocGates warms the walker scratch; the
+// sink variables live in alloc_test.go.
+func allocGateHarness(t *testing.T, sym string) func() {
+	t.Helper()
+	s := tdma(10)
+	v := NewVerifier(s, 3)
+	switch sym {
+	case "(*repro/internal/core.Verifier).MinThroughputSlots":
+		return func() { sinkSlots = v.MinThroughputSlots() }
+	}
+	t.Fatalf("no alloc-gate harness for %s; add one in alloc_harness_test.go", sym)
+	return nil
+}

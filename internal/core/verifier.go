@@ -163,6 +163,8 @@ func NewVerifier(s *Schedule, d int) *Verifier {
 
 // buildOthers fills v.others with V_n - {x, y} in increasing order (pass
 // y < 0 to exclude only x).
+//
+//ttdc:hotpath runs once per (x, y) pair of every check; refills preallocated scratch by self-reslice
 func (v *Verifier) buildOthers(x, y int) {
 	v.others = v.others[:0]
 	for u := 0; u < v.s.n; u++ {
@@ -547,6 +549,8 @@ func (v *Verifier) req2Leaves(prefix []int, start int) {
 
 // MinThroughputSlots returns the minimum over all triples of |𝒯(x, y, S)|
 // — the numerator of MinThroughput in slots.
+//
+//ttdc:hotpath the integer throughput scan is the all-scratch-preallocated entry point campaigns call per grid point
 func (v *Verifier) MinThroughputSlots() int {
 	minSlots := -1
 	for x := 0; x < v.s.n; x++ {
@@ -571,6 +575,8 @@ func (v *Verifier) MinThroughput() *big.Rat {
 
 // minThroughputNode returns min |𝒯(x, y, S)| over all pairs and
 // completions with transmitter x, stopping early at zero.
+//
+//ttdc:hotpath per-transmitter throughput walk over C(n-2, D-1) subsets; all state lives in Verifier scratch
 func (v *Verifier) minThroughputNode(x int) int {
 	v.x = x
 	v.k = v.d - 1
@@ -625,6 +631,7 @@ func (v *Verifier) minThroughputNode(x int) int {
 	return v.minSlots
 }
 
+//ttdc:hotpath visited once per enumeration-tree node of the min-throughput walk
 func (v *Verifier) stepMin(prefix []int) combin.WalkControl {
 	t := len(prefix)
 	fw := v.freeW[t]
@@ -655,6 +662,8 @@ func (v *Verifier) stepMin(prefix []int) combin.WalkControl {
 
 // minLeaves folds the last enumeration level into a popcount scan:
 // |𝒯(x, y, S)| = |free &^ tran(last) & recv(y)| per candidate last node.
+//
+//ttdc:hotpath the innermost leaf row of the min-throughput walk, a pure popcount scan
 func (v *Verifier) minLeaves(fw []uint64, start int) {
 	ry := v.recvYW
 	for pos := start; pos < len(v.others); pos++ {
@@ -672,6 +681,7 @@ func (v *Verifier) minLeaves(fw []uint64, start int) {
 	}
 }
 
+//ttdc:hotpath visited once per enumeration-tree node of the average-throughput sum
 func (v *Verifier) stepAvg(prefix []int) combin.WalkControl {
 	t := len(prefix)
 	fw := v.freeW[t]
@@ -694,6 +704,7 @@ func (v *Verifier) stepAvg(prefix []int) combin.WalkControl {
 	return combin.WalkDescend
 }
 
+//ttdc:hotpath the innermost leaf row of the average-throughput sum
 func (v *Verifier) avgLeaves(fw []uint64, start int) {
 	ry := v.recvYW
 	for pos := start; pos < len(v.others); pos++ {
@@ -949,6 +960,7 @@ func (v *Verifier) req2LeavesW1(prefix []int, start int) {
 	}
 }
 
+//ttdc:hotpath one-word scalar mirror of stepMin
 func (v *Verifier) stepMinW1(prefix []int) combin.WalkControl {
 	t := len(prefix)
 	f := v.free1[t-1] &^ v.tran1[v.others[prefix[t-1]]]
@@ -967,6 +979,7 @@ func (v *Verifier) stepMinW1(prefix []int) combin.WalkControl {
 	return combin.WalkDescend
 }
 
+//ttdc:hotpath one-word scalar mirror of minLeaves
 func (v *Verifier) minLeavesW1(f uint64, start int) {
 	fr := f & v.recvY1
 	for pos := start; pos < len(v.others); pos++ {
@@ -980,6 +993,7 @@ func (v *Verifier) minLeavesW1(f uint64, start int) {
 	}
 }
 
+//ttdc:hotpath one-word scalar mirror of stepAvg
 func (v *Verifier) stepAvgW1(prefix []int) combin.WalkControl {
 	t := len(prefix)
 	f := v.free1[t-1] &^ v.tran1[v.others[prefix[t-1]]]
@@ -994,6 +1008,7 @@ func (v *Verifier) stepAvgW1(prefix []int) combin.WalkControl {
 	return combin.WalkDescend
 }
 
+//ttdc:hotpath one-word scalar mirror of avgLeaves
 func (v *Verifier) avgLeavesW1(f uint64, start int) {
 	fr := f & v.recvY1
 	sum := v.pairSum

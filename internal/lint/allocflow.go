@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AllocFlow is the interprocedural enforcer of the //ttdc:hotpath
+// contract: inside annotated functions it reports every direct warm-path
+// allocation site (make, new, composite literals, non-pre-sized appends
+// outside loops, string conversions, escaping closures, external calls)
+// and every static call whose callee transitively allocates, with the full
+// witness chain down to the originating site. Appends inside loops belong
+// to growloop; interface boxing belongs to boxing; the cold-path and
+// pre-sizing exemptions are shared with both (see alloc.go).
+var AllocFlow = &Analyzer{
+	Name: "allocflow",
+	Doc:  "//ttdc:hotpath functions must be allocation-free on the warm path, directly and through every static callee",
+	Run:  runAllocFlow,
+}
+
+func runAllocFlow(pkg *Package) []Diagnostic {
+	if pkg.Prog == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, fi := range pkg.Prog.FuncsOf(pkg) {
+		if !fi.Hotpath || strings.HasSuffix(pkg.Fset.Position(fi.Decl.Pos()).Filename, "_test.go") {
+			continue
+		}
+		h := fi.allocFacts(pkg.Prog)
+		for _, site := range h.sites {
+			if site.kind == allocAppend && h.inLoop(fi, site.pos) {
+				continue // growloop owns loop appends
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(site.pos),
+				Analyzer: "allocflow",
+				Message:  site.what + " in a //ttdc:hotpath function; warm paths must be allocation-free",
+			})
+		}
+		for _, e := range fi.Edges {
+			if e.Kind != EdgeCall {
+				continue
+			}
+			callee := pkg.Prog.Func(e.Callee)
+			if callee == nil || callee == fi || callee.Hotpath {
+				// External callees were judged as direct sites; a hotpath
+				// callee is audited in its own body, and flagging the call
+				// again here would make one finding ripple through every
+				// annotated caller.
+				continue
+			}
+			if !callee.Summary.Allocates || h.inCold(e.Pos) {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(e.Pos),
+				Analyzer: "allocflow",
+				Message: fmt.Sprintf("call allocates through %s; //ttdc:hotpath functions must be allocation-free through every static callee",
+					pkg.Prog.allocChain(e.Callee)),
+			})
+		}
+	}
+	return diags
+}

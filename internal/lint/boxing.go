@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Boxing is the intra-procedural interface-conversion enforcer of the
+// //ttdc:hotpath contract. Storing a concrete value into an interface —
+// by conversion, assignment, argument passing (most commonly variadic
+// ...interface{} formatting calls), or return — heap-allocates the boxed
+// payload for anything wider than a pointer word, and capturing a method
+// value allocates its receiver binding. allocflow sees none of these
+// (there is no make/new/call in the syntax), so boxing owns them. Cold
+// paths (panic arguments, error returns) are exempt via the shared ranges
+// in alloc.go: fmt.Errorf on the error path boxes its operands, and that
+// is fine — error paths are cold by definition.
+var Boxing = &Analyzer{
+	Name: "boxing",
+	Doc:  "//ttdc:hotpath functions must not box concrete values into interfaces or capture method values",
+	Run:  runBoxing,
+}
+
+func runBoxing(pkg *Package) []Diagnostic {
+	if pkg.Prog == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, fi := range pkg.Prog.FuncsOf(pkg) {
+		if !fi.Hotpath || strings.HasSuffix(pkg.Fset.Position(fi.Decl.Pos()).Filename, "_test.go") {
+			continue
+		}
+		diags = append(diags, boxingIn(pkg, fi)...)
+	}
+	return diags
+}
+
+func boxingIn(pkg *Package, fi *FuncInfo) []Diagnostic {
+	info := pkg.Info
+	h := fi.allocFacts(pkg.Prog)
+	qual := types.RelativeTo(pkg.Types)
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		if h.inCold(pos) {
+			return
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(pos),
+			Analyzer: "boxing",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	// boxes reports whether storing src into a dst-typed slot crosses the
+	// concrete→interface boundary, with printable type names. Untyped
+	// constants are judged by their default type (go/types records the
+	// final type of constant operands, so a bare literal reads as string
+	// or int here, never as the interface it lands in); nil never boxes.
+	boxes := func(dst types.Type, src ast.Expr) (srcS, dstS string, ok bool) {
+		if dst == nil || !types.IsInterface(dst) {
+			return "", "", false
+		}
+		tv, found := info.Types[src]
+		if !found || tv.Type == nil || tv.IsNil() || types.IsInterface(tv.Type) {
+			return "", "", false
+		}
+		return types.TypeString(types.Default(tv.Type), qual), types.TypeString(dst, qual), true
+	}
+
+	// Selector expressions in call position are calls, not method values.
+	calleeFuns := map[ast.Expr]bool{}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			calleeFuns[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+
+	// The walk tracks the signature returns resolve against: statements in
+	// a nested function literal return to the literal's own results.
+	var inspect func(root ast.Node, sig *types.Signature)
+	inspect = func(root ast.Node, sig *types.Signature) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.FuncLit:
+				litSig, _ := info.Types[e].Type.(*types.Signature)
+				inspect(e.Body, litSig)
+				return false
+			case *ast.CallExpr:
+				tv, found := info.Types[e.Fun]
+				if !found || tv.Type == nil {
+					return true
+				}
+				if tv.IsType() {
+					if len(e.Args) == 1 {
+						if srcS, dstS, ok := boxes(tv.Type, e.Args[0]); ok {
+							report(e.Pos(), "conversion boxes %s into %s in a //ttdc:hotpath function; keep warm-path values concrete", srcS, dstS)
+						}
+					}
+					return true
+				}
+				csig, ok := tv.Type.Underlying().(*types.Signature)
+				if !ok {
+					return true // builtin
+				}
+				params := csig.Params()
+				for i, arg := range e.Args {
+					var pt types.Type
+					variadic := false
+					switch {
+					case csig.Variadic() && i >= params.Len()-1:
+						if e.Ellipsis.IsValid() {
+							continue // xs... forwards the slice itself
+						}
+						if sl, ok := params.At(params.Len() - 1).Type().Underlying().(*types.Slice); ok {
+							pt = sl.Elem()
+							variadic = true
+						}
+					case i < params.Len():
+						pt = params.At(i).Type()
+					}
+					srcS, dstS, ok := boxes(pt, arg)
+					if !ok {
+						continue
+					}
+					if variadic {
+						report(arg.Pos(), "argument boxes %s into variadic ...%s in a //ttdc:hotpath function; keep warm-path values concrete", srcS, dstS)
+					} else {
+						report(arg.Pos(), "argument boxes %s into %s in a //ttdc:hotpath function; keep warm-path values concrete", srcS, dstS)
+					}
+				}
+			case *ast.AssignStmt:
+				if e.Tok != token.ASSIGN || len(e.Lhs) != len(e.Rhs) {
+					return true // := infers concrete types; tuple unpacks convert nothing
+				}
+				for i, lhs := range e.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					ltv, found := info.Types[lhs]
+					if !found || ltv.Type == nil {
+						continue
+					}
+					if srcS, dstS, ok := boxes(ltv.Type, e.Rhs[i]); ok {
+						report(e.Rhs[i].Pos(), "assignment boxes %s into %s in a //ttdc:hotpath function; keep warm-path values concrete", srcS, dstS)
+					}
+				}
+			case *ast.ValueSpec:
+				if e.Type == nil {
+					return true
+				}
+				dtv, found := info.Types[e.Type]
+				if !found || dtv.Type == nil {
+					return true
+				}
+				for _, v := range e.Values {
+					if srcS, dstS, ok := boxes(dtv.Type, v); ok {
+						report(v.Pos(), "assignment boxes %s into %s in a //ttdc:hotpath function; keep warm-path values concrete", srcS, dstS)
+					}
+				}
+			case *ast.ReturnStmt:
+				if sig == nil {
+					return true
+				}
+				results := sig.Results()
+				if len(e.Results) != results.Len() {
+					return true // bare return or forwarded tuple
+				}
+				for i, r := range e.Results {
+					if srcS, dstS, ok := boxes(results.At(i).Type(), r); ok {
+						report(r.Pos(), "return boxes %s into %s in a //ttdc:hotpath function; keep warm-path values concrete", srcS, dstS)
+					}
+				}
+			case *ast.SelectorExpr:
+				if calleeFuns[e] {
+					return true
+				}
+				if s, ok := info.Selections[e]; ok && s.Kind() == types.MethodVal {
+					report(e.Pos(), "method value %s captures its receiver binding on the warm path; bind it once at construction", e.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	fsig, _ := fi.Obj.Type().(*types.Signature)
+	inspect(fi.Decl.Body, fsig)
+	return diags
+}

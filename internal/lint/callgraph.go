@@ -70,12 +70,20 @@ type FuncInfo struct {
 	Dynamic []DynamicSite
 	// Summary is valid after BuildProgram's fixpoint completes.
 	Summary Summary
+	// Hotpath records a //ttdc:hotpath contract in the declaration's doc
+	// comment (see hotpath.go); HotpathReason is the mandatory free-text
+	// justification that follows the marker.
+	Hotpath       bool
+	HotpathReason string
 
 	level    int // import-DAG level of the enclosing unit (callee-first order)
 	paramSet map[types.Object]bool
 	// floatDefs lazily caches local-variable definitions for the float
 	// provenance walk (see summary.go); pure syntax, stable across passes.
 	floatDefs map[types.Object][]ast.Expr
+	// hot lazily caches the allocation-site analysis (see alloc.go);
+	// likewise stable across fixpoint passes.
+	hot *hotFacts
 }
 
 // Program is the module-wide interprocedural index shared by the
@@ -112,6 +120,7 @@ func BuildProgram(pkgs []*Package) *Program {
 					continue // same dir loaded through two patterns
 				}
 				fi := &FuncInfo{Sym: sym, Pkg: pkg, Decl: fd, Obj: obj}
+				fi.HotpathReason, fi.Hotpath = hotpathDecl(fd)
 				fi.collect(pkg)
 				p.Funcs[sym] = fi
 				p.byPkg[pkg] = append(p.byPkg[pkg], fi)

@@ -1,0 +1,41 @@
+package lint
+
+import "strings"
+
+// GrowLoop is the CFG-backed half of the //ttdc:hotpath append story: an
+// append whose statement sits on a cycle of the function's flow graph (a
+// node that can reach itself — for, range, or goto loops alike) runs an
+// unbounded number of times per call, so "it only grows once" amortization
+// arguments do not apply unless the base is provably pre-sized. The
+// pre-sizing proofs (self-reslice reset, cap-guarded make) and the
+// cold-path exemptions are shared with allocflow via alloc.go; appends
+// outside loops are allocflow's.
+var GrowLoop = &Analyzer{
+	Name: "growloop",
+	Doc:  "appends reachable inside a loop of a //ttdc:hotpath function must be provably pre-sized",
+	Run:  runGrowLoop,
+}
+
+func runGrowLoop(pkg *Package) []Diagnostic {
+	if pkg.Prog == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, fi := range pkg.Prog.FuncsOf(pkg) {
+		if !fi.Hotpath || strings.HasSuffix(pkg.Fset.Position(fi.Decl.Pos()).Filename, "_test.go") {
+			continue
+		}
+		h := fi.allocFacts(pkg.Prog)
+		for _, site := range h.sites {
+			if site.kind != allocAppend || !h.inLoop(fi, site.pos) {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(site.pos),
+				Analyzer: "growloop",
+				Message:  "append inside a loop is not provably pre-sized; reset the scratch with x = x[:0] or grow it once behind a cap guard",
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The //ttdc:hotpath annotation declares a warm-path contract: the
+// annotated function promises to perform zero steady-state allocations,
+// and the allocflow/boxing/growloop analyzers machine-enforce the promise
+// (see alloc.go for the lattice and its deliberate approximations). The
+// directive follows the //lint:ignore parser discipline exactly: the
+// marker must be bounded by end-of-comment or blank space (so
+// `//ttdc:hotpaths` is an ordinary comment, not a contract), and a
+// directive without a written reason is itself a finding — every contract
+// says in the tree why the function is hot.
+//
+//	//ttdc:hotpath <reason>
+//
+// The directive is only meaningful in a function declaration's doc
+// comment; anywhere else it binds to nothing, which is reported rather
+// than silently ignored (a dangling contract is a contract the analyzers
+// are not enforcing).
+
+const hotpathPrefix = "ttdc:hotpath"
+
+// parseHotpathDirective parses the raw text of one comment. ok reports
+// whether the comment is a ttdc:hotpath directive at all: it must start
+// with exactly `//ttdc:hotpath` followed by the end of the comment or a
+// space or tab. When ok, exactly one of reason (well-formed directive) or
+// bad (the malformed-directive finding message) is non-empty.
+func parseHotpathDirective(text string) (reason, bad string, ok bool) {
+	rest, ok := strings.CutPrefix(text, "//"+hotpathPrefix)
+	if !ok {
+		return "", "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", "", false
+	}
+	reason = strings.Join(strings.Fields(rest), " ")
+	if reason == "" {
+		return "", "ttdc:hotpath directive has no written reason; every warm-path contract must say what makes the function hot", true
+	}
+	return reason, "", true
+}
+
+// hotpathDecl extracts the warm-path contract from a declaration's doc
+// comment group, if any line carries a well-formed directive.
+func hotpathDecl(fd *ast.FuncDecl) (reason string, ok bool) {
+	if fd.Doc == nil {
+		return "", false
+	}
+	for _, c := range fd.Doc.List {
+		if r, bad, isDir := parseHotpathDirective(c.Text); isDir && bad == "" {
+			return r, true
+		}
+	}
+	return "", false
+}
+
+// collectHotpathIssues reports the directive's own failure modes as
+// findings of the pseudo-analyzer "hotpath": a directive with no written
+// reason, and a well-formed directive outside a function declaration's doc
+// comment (dangling — it annotates nothing, so nothing enforces it).
+func collectHotpathIssues(pkg *Package) []Diagnostic {
+	inDoc := map[*ast.Comment]bool{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					inDoc[c] = true
+				}
+			}
+		}
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				_, bad, ok := parseHotpathDirective(c.Text)
+				if !ok {
+					continue
+				}
+				switch {
+				case bad != "":
+					diags = append(diags, Diagnostic{
+						Pos:      pkg.Fset.Position(c.Pos()),
+						Analyzer: "hotpath",
+						Message:  bad,
+					})
+				case !inDoc[c]:
+					diags = append(diags, Diagnostic{
+						Pos:      pkg.Fset.Position(c.Pos()),
+						Analyzer: "hotpath",
+						Message:  "ttdc:hotpath directive must sit in a function declaration's doc comment; a dangling contract is enforced by nothing",
+					})
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// HotpathEntry is one annotated function in the -hotpaths inventory.
+type HotpathEntry struct {
+	Sym      string `json:"sym"`
+	Pkg      string `json:"pkg"`
+	Name     string `json:"name"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Exported bool   `json:"exported"`
+	Reason   string `json:"reason"`
+}
+
+// Hotpaths inventories every //ttdc:hotpath function of the program in
+// symbol order. Functions declared in _test.go files are excluded — a test
+// helper is not a warm path — and Exported additionally requires an
+// exported receiver type, so every exported entry is callable from a
+// generated gate in its own package's external tests.
+func (p *Program) Hotpaths() []HotpathEntry {
+	var out []HotpathEntry
+	for _, sym := range p.order {
+		fi := p.Funcs[sym]
+		if !fi.Hotpath {
+			continue
+		}
+		pos := fi.Pkg.Fset.Position(fi.Decl.Pos())
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		out = append(out, HotpathEntry{
+			Sym:      sym,
+			Pkg:      fi.Pkg.Types.Path(),
+			Name:     fi.Decl.Name.Name,
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Exported: hotpathExported(fi),
+			Reason:   fi.HotpathReason,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Sym < out[j].Sym })
+	return out
+}
+
+// hotpathExported reports whether fi is reachable from outside its
+// package: an exported function, or an exported method on an exported
+// named receiver type.
+func hotpathExported(fi *FuncInfo) bool {
+	if !fi.Obj.Exported() {
+		return false
+	}
+	sig, ok := fi.Obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return true
+	}
+	named := namedOf(sig.Recv().Type())
+	return named != nil && named.Obj().Exported()
+}

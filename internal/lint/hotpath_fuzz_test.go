@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzHotpathDirective hammers the //ttdc:hotpath parser with arbitrary
+// comment text and checks the same structural invariants the //lint:ignore
+// fuzzer pins: it must never panic, it must be deterministic, a
+// non-directive yields nothing, and a directive yields exactly one of a
+// well-formed reason or a malformed-directive message. The seed corpus
+// lives in testdata/fuzz/FuzzHotpathDirective.
+func FuzzHotpathDirective(f *testing.F) {
+	f.Add("//ttdc:hotpath saturation inner loop of the verifier kernel")
+	f.Add("//ttdc:hotpath")
+	f.Add("//ttdc:hotpath ")
+	f.Add("//ttdc:hotpaths fused marker must not parse")
+	f.Add("//ttdc:hotpath\t tab-separated \t reason")
+	f.Add("// just a comment")
+	f.Add("/*ttdc:hotpath block comments are not directives*/")
+	f.Add("//ttdc:hotpath  doubled  spaces  collapse")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		reason, bad, ok := parseHotpathDirective(text)
+
+		r2, b2, ok2 := parseHotpathDirective(text)
+		if ok != ok2 || bad != b2 || reason != r2 {
+			t.Fatalf("parse not deterministic for %q", text)
+		}
+
+		if !ok {
+			if reason != "" || bad != "" {
+				t.Fatalf("non-directive %q produced output: %q / %q", text, reason, bad)
+			}
+			return
+		}
+
+		// A recognised directive starts with the exact marker, bounded by
+		// end-of-comment or blank space — never fused into a longer word.
+		rest := strings.TrimPrefix(text, "//"+hotpathPrefix)
+		if rest == text || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+			t.Fatalf("accepted %q as a directive", text)
+		}
+
+		wellFormed := reason != ""
+		malformed := bad != ""
+		if wellFormed == malformed {
+			t.Fatalf("directive %q is both/neither well-formed and malformed: %q / %q", text, reason, bad)
+		}
+		if wellFormed && (strings.ContainsAny(reason, "\t\n\r") || strings.Contains(reason, "  ")) {
+			t.Fatalf("reason %q from %q not whitespace-normalized", reason, text)
+		}
+	})
+}

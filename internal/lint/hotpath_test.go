@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseHotpathDirective pins the parser's boundary discipline — the
+// same table shape the ignore-directive parser is held to.
+func TestParseHotpathDirective(t *testing.T) {
+	cases := []struct {
+		text   string
+		ok     bool
+		reason string
+		bad    bool
+	}{
+		{"//ttdc:hotpath saturation inner loop", true, "saturation inner loop", false},
+		{"//ttdc:hotpath\ttab\tseparated", true, "tab separated", false},
+		{"//ttdc:hotpath", true, "", true},
+		{"//ttdc:hotpath   ", true, "", true},
+		{"//ttdc:hotpaths not a directive", false, "", false},
+		{"// ttdc:hotpath leading space is prose", false, "", false},
+		{"//lint:ignore walltime other namespace", false, "", false},
+		{"/*ttdc:hotpath block comment*/", false, "", false},
+	}
+	for _, c := range cases {
+		reason, bad, ok := parseHotpathDirective(c.text)
+		if ok != c.ok || reason != c.reason || (bad != "") != c.bad {
+			t.Errorf("parseHotpathDirective(%q) = %q, %q, %v; want reason %q, bad %v, ok %v",
+				c.text, reason, bad, ok, c.reason, c.bad, c.ok)
+		}
+	}
+}
+
+// TestHotpathDirectives checks the end-to-end directive semantics over the
+// hotpaths fixture: malformed and dangling directives surface as "hotpath"
+// pseudo-findings, the fused marker is ignored, and a well-formed doc
+// directive sets the contract (with its reason) on the function.
+func TestHotpathDirectives(t *testing.T) {
+	loader, err := NewLoader("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadDir(filepath.Join("testdata", "src", "hotpaths"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := LintAll(pkgs, nil)
+	var noReason, danglingFound int
+	for _, d := range res.Findings {
+		if d.Analyzer != "hotpath" {
+			t.Errorf("unexpected analyzer %q: %s", d.Analyzer, d)
+			continue
+		}
+		switch {
+		case strings.Contains(d.Message, "no written reason"):
+			noReason++
+		case strings.Contains(d.Message, "doc comment"):
+			danglingFound++
+		default:
+			t.Errorf("unclassified hotpath finding: %s", d)
+		}
+	}
+	if noReason != 1 || danglingFound != 1 {
+		t.Errorf("hotpath findings = %d no-reason + %d dangling, want 1 + 1", noReason, danglingFound)
+	}
+
+	prog := pkgs[0].Prog
+	const base = "repro/internal/lint/testdata/src/hotpaths."
+	fi := prog.Func(base + "kernel")
+	if fi == nil || !fi.Hotpath || fi.HotpathReason != "saturation inner loop" {
+		t.Fatalf("kernel contract not recorded: %+v", fi)
+	}
+	for _, name := range []string{"bare", "dangling", "fused"} {
+		if fi := prog.Func(base + name); fi == nil || fi.Hotpath {
+			t.Errorf("%s should carry no contract (fi=%+v)", name, fi)
+		}
+	}
+
+	entries := prog.Hotpaths()
+	if len(entries) != 1 || entries[0].Name != "kernel" || entries[0].Exported ||
+		entries[0].Reason != "saturation inner loop" || entries[0].Line == 0 {
+		t.Fatalf("Hotpaths() = %+v, want exactly the kernel entry", entries)
+	}
+}

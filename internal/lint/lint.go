@@ -20,6 +20,12 @@
 //	//lint:ignore <analyzer>[,<analyzer>...] <reason>
 //
 // A directive without a written reason is itself a finding.
+//
+// Functions opt into the zero-allocation warm-path contract with a
+// directive in their doc comment, enforced by the allocflow, boxing, and
+// growloop analyzers (see hotpath.go and alloc.go):
+//
+//	//ttdc:hotpath <reason>
 package lint
 
 import (
@@ -60,11 +66,14 @@ type Analyzer struct {
 // All is the full analyzer suite, in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AllocFlow,
 		AtomicMix,
+		Boxing,
 		CtxCancel,
 		DetFlow,
 		DroppedErr,
 		FloatFlow,
+		GrowLoop,
 		MapOrder,
 		MutexCopy,
 		PoolEscape,
@@ -114,6 +123,10 @@ func LintAll(pkgs []*Package, analyzers []*Analyzer) Result {
 				})
 			}
 		}
+		// Directive hygiene for //ttdc:hotpath mirrors //lint:ignore:
+		// malformed or dangling contracts are findings of the pseudo-
+		// analyzer "hotpath" (see hotpath.go), never silently dropped.
+		res.Findings = append(res.Findings, collectHotpathIssues(pkg)...)
 		for _, a := range analyzers {
 			for _, diag := range a.Run(pkg) {
 				if suppressed(dirs, diag) {

@@ -112,6 +112,9 @@ func TestWallTimeFixture(t *testing.T)   { runFixture(t, WallTime, "walltime") }
 func TestFloatFlowFixture(t *testing.T)  { runFixture(t, FloatFlow, "floatflow") }
 func TestPoolEscapeFixture(t *testing.T) { runFixture(t, PoolEscape, "poolescape") }
 func TestDetFlowFixture(t *testing.T)    { runFixture(t, DetFlow, "detflow") }
+func TestAllocFlowFixture(t *testing.T)  { runFixture(t, AllocFlow, "allocflow") }
+func TestBoxingFixture(t *testing.T)     { runFixture(t, Boxing, "boxing") }
+func TestGrowLoopFixture(t *testing.T)   { runFixture(t, GrowLoop, "growloop") }
 
 // TestIgnoreDirectives checks suppression semantics directly: a malformed
 // directive is itself a finding and suppresses nothing; a well-formed one
@@ -243,8 +246,8 @@ func TestAnalyzerNamesUnique(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 14 {
-		t.Fatalf("analyzer count = %d, want 14", len(seen))
+	if len(seen) != 17 {
+		t.Fatalf("analyzer count = %d, want 17", len(seen))
 	}
 }
 

@@ -62,11 +62,22 @@ type Summary struct {
 	// ReleasesParam[i]: parameter i is returned to its pool (Pool.Put or
 	// a Release method, directly or transitively).
 	ReleasesParam []bool
+	// Allocates: the function performs a warm-path heap allocation, itself
+	// or through any static callee. Cold shapes — panic arguments, error
+	// returns, cap-guarded growth, pre-sized appends, callback literals —
+	// are excluded by construction (see alloc.go). AllocVia is the callee
+	// symbol the fact arrived through ("" for a direct site) and AllocSrc
+	// names the ultimate site ("make", "fmt.Sprintf", ...); both are frozen
+	// at the pass that first sets Allocates, exactly like taint witnesses.
+	Allocates bool
+	AllocVia  string
+	AllocSrc  string
 }
 
 func (s Summary) equal(o Summary) bool {
 	if s.Taint != o.Taint || s.Via != o.Via || s.Src != o.Src ||
 		s.FloatDerived != o.FloatDerived || s.ReturnsPooled != o.ReturnsPooled ||
+		s.Allocates != o.Allocates || s.AllocVia != o.AllocVia || s.AllocSrc != o.AllocSrc ||
 		len(s.StoresParam) != len(o.StoresParam) || len(s.ReleasesParam) != len(o.ReleasesParam) {
 		return false
 	}
@@ -156,10 +167,16 @@ func (p *Program) summarize(fi *FuncInfo) Summary {
 		StoresParam:   make([]bool, len(fi.Params)),
 		ReleasesParam: make([]bool, len(fi.Params)),
 	}
-	// Taint bits are sticky and their witnesses frozen: once set, a later
-	// pass never rewrites Via/Src (see the Summary doc comment).
+	// Taint and allocation bits are sticky and their witnesses frozen: once
+	// set, a later pass never rewrites Via/Src (see the Summary doc comment).
 	s.Taint, s.Via, s.Src = old.Taint, old.Via, old.Src
+	s.Allocates, s.AllocVia, s.AllocSrc = old.Allocates, old.AllocVia, old.AllocSrc
 	p.directTaints(fi, &s)
+	if !s.Allocates {
+		if site, ok := fi.allocFacts(p).firstSite(); ok {
+			s.Allocates, s.AllocVia, s.AllocSrc = true, "", site.src
+		}
+	}
 	for _, e := range fi.Edges {
 		if e.Kind != EdgeCall {
 			continue
@@ -174,6 +191,12 @@ func (p *Program) summarize(fi *FuncInfo) Summary {
 				s.Via[k] = e.Callee
 				s.Src[k] = callee.Summary.Src[k]
 			}
+		}
+		if !s.Allocates && callee != fi && callee.Summary.Allocates &&
+			!fi.allocFacts(p).inCold(e.Pos) {
+			s.Allocates = true
+			s.AllocVia = e.Callee
+			s.AllocSrc = callee.Summary.AllocSrc
 		}
 	}
 	s.FloatDerived = p.floatDerived(fi)

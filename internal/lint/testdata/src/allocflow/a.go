@@ -1,0 +1,128 @@
+// Warm-path allocation shapes: the //ttdc:hotpath contract is enforced
+// on the annotated functions themselves and transitively through every
+// static callee, with the witness chain naming each hop down to the
+// originating site. Cold paths (panic arguments, error returns), the
+// cap-guard grow-once idiom, callback literals, and hotpath→hotpath calls
+// are the sanctioned exemptions.
+package allocflow
+
+import (
+	"fmt"
+	"strings"
+)
+
+// point gives the composite-literal case a concrete struct.
+type point struct{ x, y int }
+
+// build allocates a fresh row per call — no contract here, so no finding
+// here; annotated callers inherit it through the summary instead.
+func build(n int) []int {
+	return make([]int, n)
+}
+
+// hot allocates directly and through build; both sites flag, and the call
+// finding carries the full witness chain.
+//
+//ttdc:hotpath fixture warm path
+func hot(n int) []int {
+	buf := make([]int, n) // want `make allocates in a //ttdc:hotpath function`
+	row := build(n)       // want `call allocates through allocflow\.build -> make`
+	copy(buf, row)
+	return buf
+}
+
+// warm calls hot: a hotpath callee is audited in its own body, never
+// re-flagged at the call site, so one fix cannot ripple through callers.
+//
+//ttdc:hotpath fixture warm path
+func warm(n int) []int {
+	return hot(n)
+}
+
+// cold allocates only on the cold paths: panic arguments and returns that
+// hand back a non-nil error are exempt by construction.
+//
+//ttdc:hotpath fixture warm path
+func cold(i, n int) (int, error) {
+	if i < 0 {
+		panic(fmt.Sprintf("allocflow: negative index %d", i))
+	}
+	if i >= n {
+		return 0, fmt.Errorf("index %d out of range [0,%d)", i, n)
+	}
+	return i, nil
+}
+
+// shout leaves the module on the warm path; external callees are assumed
+// to allocate unless allowlisted.
+//
+//ttdc:hotpath fixture warm path
+func shout(s string) string {
+	return strings.ToUpper(s) // want `call to strings\.ToUpper allocates in a //ttdc:hotpath function`
+}
+
+// capture returns a closure over its locals — an escaping capture, unlike
+// a literal handed straight to a callee as a callback.
+//
+//ttdc:hotpath fixture warm path
+func capture(xs []int) func() int {
+	i := 0
+	f := func() int { i++; return xs[i-1] } // want `closure capture allocates`
+	return f
+}
+
+// key crosses the string ↔ []byte boundary, which copies the payload.
+//
+//ttdc:hotpath fixture warm path
+func key(b []byte) string {
+	return string(b) // want `string conversion allocates`
+}
+
+// pair materializes a heap object per call.
+//
+//ttdc:hotpath fixture warm path
+func pair(a, b int) *point {
+	return &point{a, b} // want `composite literal allocates`
+}
+
+// push appends outside any loop: allocflow owns it (growloop owns loop
+// appends) because the base is not provably pre-sized.
+//
+//ttdc:hotpath fixture warm path
+func push(q []int, x int) []int {
+	return append(q, x) // want `append may grow its slice in a //ttdc:hotpath function`
+}
+
+// visit hands its literal straight to a callee: callback position matches
+// the compiler's escape analysis for non-leaking parameters, so the
+// literal is exempt — but its body is still on the warm path, and the
+// conversion inside it still flags.
+//
+//ttdc:hotpath fixture warm path
+func visit(names []string, each func([]byte)) {
+	forEach(names, func(s string) {
+		each([]byte(s)) // want `string conversion allocates`
+	})
+}
+
+// forEach is the dynamic-dispatch boundary: calls through the function
+// value are optimistically allocation-free (the gates catch liars).
+func forEach(names []string, f func(string)) {
+	for _, s := range names {
+		f(s)
+	}
+}
+
+// scratch owns a reusable buffer for the cap-guard case below.
+type scratch struct{ buf []int }
+
+// grown uses the sanctioned cap-guard idiom: the make runs O(log n) times
+// across a campaign, not once per call, so the guard body is exempt.
+//
+//ttdc:hotpath fixture warm path
+func (s *scratch) grown(n int) []int {
+	if cap(s.buf) < n {
+		s.buf = make([]int, n)
+	}
+	return s.buf[:n]
+}

@@ -1,0 +1,99 @@
+// Interface-boxing shapes inside //ttdc:hotpath functions: conversions,
+// assignments, interface-typed parameters (explicit and variadic), returns,
+// and method-value captures. Cold paths are exempt via the shared ranges —
+// fmt.Errorf on the error path boxes its operands, and error paths are
+// allowed to.
+package boxing
+
+import "fmt"
+
+// sink is where the assignment case lands.
+var sink interface{}
+
+// store boxes through a plain assignment to an interface-typed location.
+//
+//ttdc:hotpath fixture warm path
+func store(v int) {
+	sink = v // want `assignment boxes int into interface\{\} in a //ttdc:hotpath function`
+}
+
+// declare boxes through a var declaration with an explicit interface type.
+//
+//ttdc:hotpath fixture warm path
+func declare(v float64) {
+	var x interface{} = v // want `assignment boxes float64 into interface\{\}`
+	_ = x
+}
+
+// convert boxes through an explicit conversion.
+//
+//ttdc:hotpath fixture warm path
+func convert(v uint32) interface{} {
+	x := interface{}(v) // want `conversion boxes uint32 into interface\{\}`
+	return x
+}
+
+// ret boxes at the return site: the declared result is an interface.
+//
+//ttdc:hotpath fixture warm path
+func ret(v int64) interface{} {
+	return v // want `return boxes int64 into interface\{\}`
+}
+
+// logValue hits the variadic ...interface{} path every formatting call
+// takes; each concrete argument is its own allocation.
+//
+//ttdc:hotpath fixture warm path
+func logValue(v int) {
+	fmt.Println(v) // want `argument boxes int into variadic`
+}
+
+// accept boxes into a declared (non-variadic) interface parameter.
+//
+//ttdc:hotpath fixture warm path
+func accept(v int) {
+	consume(v) // want `argument boxes int into interface\{\}`
+}
+
+// consume is the interface-taking helper; no contract, no finding.
+func consume(x interface{}) { _ = x }
+
+// counter gives the method-value case a receiver to capture.
+type counter struct{ n int }
+
+// bump is the method being captured.
+func (c *counter) bump() { c.n++ }
+
+// capture materializes a method value: the receiver binding allocates.
+//
+//ttdc:hotpath fixture warm path
+func capture(c *counter) func() {
+	f := c.bump // want `method value bump captures its receiver binding`
+	return f
+}
+
+// direct calls the method normally — call position is not a capture.
+//
+//ttdc:hotpath fixture warm path
+func direct(c *counter) {
+	c.bump()
+}
+
+// coldError boxes only inside an error return: exempt, like every cold
+// path.
+//
+//ttdc:hotpath fixture warm path
+func coldError(i, n int) (int, error) {
+	if i >= n {
+		return 0, fmt.Errorf("index %d out of range [0,%d)", i, n)
+	}
+	return i, nil
+}
+
+// passThrough hands one interface to another: interface→interface moves a
+// descriptor, it does not box.
+//
+//ttdc:hotpath fixture warm path
+func passThrough(x interface{}) interface{} {
+	return x
+}

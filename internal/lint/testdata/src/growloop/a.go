@@ -1,0 +1,65 @@
+// Loop-growth shapes inside //ttdc:hotpath functions: an append whose
+// statement sits on a CFG cycle runs an unbounded number of times per
+// call, so it must be provably pre-sized — reset by self-reslice or grown
+// once behind a cap guard. Appends outside loops are allocflow's.
+package growloop
+
+// rows is package state for the appends below.
+var rows []int
+
+// gather grows an unreset slice inside the scan loop: the classic warm-
+// path leak this analyzer exists for.
+//
+//ttdc:hotpath fixture warm path
+func gather(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		if x > 0 {
+			out = append(out, x) // want `append inside a loop is not provably pre-sized`
+		}
+	}
+	return out
+}
+
+// spill appends to package state from inside a counted loop.
+//
+//ttdc:hotpath fixture warm path
+func spill(n int) {
+	for i := 0; i < n; i++ {
+		rows = append(rows, i) // want `append inside a loop is not provably pre-sized`
+	}
+}
+
+// buffer owns reusable scratch for the sanctioned shapes below.
+type buffer struct{ buf []int }
+
+// fill resets its scratch by self-reslice before the loop: pre-sized, no
+// finding — this is the simulator kernels' idiom.
+//
+//ttdc:hotpath fixture warm path
+func (b *buffer) fill(xs []int) {
+	b.buf = b.buf[:0]
+	for _, x := range xs {
+		b.buf = append(b.buf, x)
+	}
+}
+
+// guarded grows once behind a cap check, then appends into capacity.
+//
+//ttdc:hotpath fixture warm path
+func (b *buffer) guarded(xs []int) {
+	if cap(b.buf) < len(xs) {
+		b.buf = make([]int, 0, len(xs))
+	}
+	b.buf = b.buf[:0]
+	for _, x := range xs {
+		b.buf = append(b.buf, x)
+	}
+}
+
+// once appends outside any loop: allocflow's finding, not growloop's.
+//
+//ttdc:hotpath fixture warm path
+func once(q []int, x int) []int {
+	return append(q, x)
+}

@@ -1,0 +1,27 @@
+// Directive-hygiene shapes for //ttdc:hotpath: a marker with no written
+// reason and a well-formed directive outside a function declaration's doc
+// comment are findings of the pseudo-analyzer "hotpath"; a fused marker is
+// an ordinary comment; a well-formed doc directive sets the contract.
+package hotpaths
+
+// kernel carries a well-formed contract.
+//
+//ttdc:hotpath saturation inner loop
+func kernel(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+//ttdc:hotpath
+func bare() {}
+
+func dangling() {
+	//ttdc:hotpath tight loop
+	_ = 0
+}
+
+//ttdc:hotpaths fused marker is an ordinary comment, not a contract
+func fused() {}

@@ -109,6 +109,7 @@ func newArtifactCache(capacity int, maxBytes int64) *artifactCache {
 	}
 }
 
+//ttdc:hotpath the fully warm serving hit: map probe, LRU repositioning, and atomic counters only
 func (c *artifactCache) get(k schedcache.Key) (*Artifact, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -253,6 +253,8 @@ func (k *ConvergecastKernel) startShardWorkers(sc *ccFastScratch, ranges [][2]in
 // counter is word-parallel, so on dense graphs each transmitter costs a
 // handful of word ops per adjacency word with no per-receiver writes at
 // all; on compressed graphs the sorted CSR row is walked bit by bit.
+//
+//ttdc:hotpath runs once per shard per occupied slot of every convergecast run; pure word arithmetic over pooled rows
 func (k *ConvergecastKernel) contentionRange(sc *ccFastScratch, i, lo, hi int) {
 	rxRow := k.rxRole[i*k.nw : (i+1)*k.nw]
 	if k.adjW != nil {

@@ -17,6 +17,8 @@ const wordBits = 64
 // the energy fields of their results byte-identical rather than merely close:
 // float addition is not associative, so the two paths must not accumulate
 // per-slot terms in different orders.
+//
+//ttdc:hotpath the single energy-pricing expression both simulator paths fold their censuses through
 func energyFromCounts(em EnergyModel, tx, rx, sleep int) float64 {
 	return float64(tx)*em.TxPower*em.SlotSeconds +
 		float64(rx)*em.RxPower*em.SlotSeconds +
@@ -204,6 +206,8 @@ func (k *SaturationKernel) Run(g *topology.Graph, frames int, em EnergyModel) (*
 // per-link counts are written to vmaj in v-major order (the write range is
 // vmaj[inOff[lo]:inOff[hi]], disjoint across shards). Returns the range's
 // per-frame collision-slot count and its maximum inter-delivery gap.
+//
+//ttdc:hotpath per-shard saturation frame resolution; all rows come pooled and presized from the caller
 func (k *SaturationKernel) resolveRange(g *topology.Graph, lo, hi, frames int,
 	ss *satShardScratch, inOff []int, vmaj []int) (collPerFrame, maxGap int) {
 	l, lw := k.l, k.lw

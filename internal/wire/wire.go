@@ -189,8 +189,10 @@ type reader struct {
 	off int
 }
 
+//ttdc:hotpath bounds cursor arithmetic on the decode path; two loads and a subtract
 func (r *reader) remaining() int { return len(r.b) - r.off }
 
+//ttdc:hotpath one call per encoded integer of every decoded frame; allocation belongs only to the cold error returns
 func (r *reader) uvarint(what string) (uint64, error) {
 	v, n := binary.Uvarint(r.b[r.off:])
 	if n <= 0 {
@@ -209,6 +211,8 @@ func (r *reader) uvarint(what string) (uint64, error) {
 }
 
 // intIn reads a uvarint and range-checks it into [0, max] as an int.
+//
+//ttdc:hotpath range-checked varint read on the decode path; cold error returns only
 func (r *reader) intIn(what string, max int) (int, error) {
 	v, err := r.uvarint(what)
 	if err != nil {
@@ -220,6 +224,7 @@ func (r *reader) intIn(what string, max int) (int, error) {
 	return int(v), nil
 }
 
+//ttdc:hotpath zero-copy subslice read on the decode path; cold error returns only
 func (r *reader) bytes(what string, n int) ([]byte, error) {
 	if n < 0 || n > r.remaining() {
 		return nil, fmt.Errorf("wire: truncated reading %d bytes of %s at offset %d", n, what, r.off)
